@@ -1,0 +1,95 @@
+// Command hhnet demonstrates the distributed deployment: it starts a TCP
+// aggregation server, simulates a fleet of user processes that each send one
+// ε-LDP report over the wire, then triggers identification and prints the
+// result.
+//
+// Usage:
+//
+//	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"ldphh/internal/core"
+	"ldphh/internal/protocol"
+	"ldphh/internal/workload"
+)
+
+var (
+	n      = flag.Int("n", 30000, "number of users")
+	fleets = flag.Int("fleets", 8, "concurrent sender connections")
+	addr   = flag.String("addr", "127.0.0.1:0", "listen address")
+	eps    = flag.Float64("eps", 4, "privacy budget")
+	seed   = flag.Uint64("seed", 1, "seed")
+)
+
+func main() {
+	flag.Parse()
+	params := core.Params{Eps: *eps, N: *n, ItemBytes: 4, Y: 64, Seed: *seed}
+	srv, err := protocol.NewServer(params, *addr)
+	fatal(err)
+	defer srv.Close()
+	fmt.Printf("aggregation server listening on %s\n", srv.Addr())
+
+	dom := workload.Domain{ItemBytes: 4}
+	ds, err := workload.Planted(dom, *n, []float64{0.3, 0.2}, rand.New(rand.NewPCG(*seed, 2)))
+	fatal(err)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, *fleets)
+	for f := 0; f < *fleets; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			// Each fleet derives its own client purely from Params — devices
+			// never see server state, only the shared seed.
+			client, err := core.NewClient(params)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			rng := rand.New(rand.NewPCG(uint64(f), *seed))
+			var batch []core.Report
+			for i := f; i < *n; i += *fleets {
+				rep, err := client.Report(ds.Items[i], i, rng)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				batch = append(batch, rep)
+			}
+			errCh <- protocol.SendReports(srv.Addr(), batch)
+		}(f)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		fatal(err)
+	}
+	fmt.Printf("fleet of %d connections delivered %d reports in %v (%d bytes each)\n",
+		*fleets, srv.Absorbed(), time.Since(start).Round(time.Millisecond), protocol.FrameSize)
+
+	est, err := protocol.RequestIdentify(srv.Addr())
+	fatal(err)
+	fmt.Printf("identified %d heavy hitters:\n", len(est))
+	for i, e := range est {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %x  est=%8.0f  true=%d\n", e.Item, e.Count, ds.Count(e.Item))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhnet:", err)
+		os.Exit(1)
+	}
+}

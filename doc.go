@@ -1,0 +1,38 @@
+// Package ldphh is a from-scratch Go reproduction of "Heavy Hitters and the
+// Structure of Local Privacy" (Bun, Nelson, Stemmer — PODS 2018,
+// arXiv:1711.04740): locally differentially private heavy hitters with
+// worst-case error optimal in every parameter, including the failure
+// probability.
+//
+// The package re-exports the library's public surface:
+//
+//   - HeavyHitters / Params — PrivateExpanderSketch (Algorithm 1,
+//     Theorem 3.13), the paper's primary contribution, together with its
+//     client-side Report computation and server-side Identify.
+//   - Frequency oracles — Hashtogram (Theorem 3.7) for arbitrary domains and
+//     DirectHistogram (Theorem 3.8) for small explicit domains, plus
+//     RAPPOR/OLH/KRR baselines.
+//   - Baselines — Bitstogram (Bassily et al., NIPS 2017) and a
+//     Bassily–Smith (STOC 2015) style succinct histogram, for the Table 1
+//     comparisons.
+//   - Section 4 — advanced grouposition and max-information calculators with
+//     a Monte-Carlo privacy-loss simulator.
+//   - Section 5 — the composition-of-randomized-response algorithm M̃.
+//   - Section 6 — GenProt, the approximate-to-pure LDP purification.
+//   - Section 7 — the anti-concentration lower bound and its empirical
+//     tightness harness.
+//
+// Quickstart:
+//
+//	params := ldphh.Params{Eps: 2, N: 100000, ItemBytes: 8, Seed: 1}
+//	hh, err := ldphh.NewHeavyHitters(params)
+//	// each user i computes one small message locally:
+//	rep, err := hh.Report(item, i, rng)
+//	// the untrusted server aggregates:
+//	err = hh.Absorb(rep)
+//	// ... and identifies the heavy hitters with frequency estimates:
+//	est, err := hh.Identify()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table row and theorem.
+package ldphh

@@ -1,0 +1,75 @@
+// Adaptive analysis: the payoff of Theorem 4.5. An analyst runs an
+// *adaptively chosen* sequence of frequency queries against an LDP-collected
+// sketch, each query chosen to chase the largest previous answer — the
+// classic recipe for overfitting a sample. Because an ε-LDP protocol has
+// β-approximate max-information nε²/2 + ε·sqrt(2n·ln(1/β)) (far below the
+// central model's nε), the adaptively selected statistic still generalizes:
+// the chased "winner" frequency stays close to its true population value.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"ldphh"
+)
+
+func main() {
+	const n = 50000
+	const eps = 0.5
+	const rounds = 12
+
+	// Population: 64 candidate items with mild popularity differences.
+	dom := ldphh.Domain{ItemBytes: 8}
+	rng := rand.New(rand.NewPCG(1, 2))
+	var items [][]byte
+	truth := make([]int, 64)
+	for i := 0; i < n; i++ {
+		v := rng.IntN(64)
+		truth[v]++
+		items = append(items, dom.Item(uint64(v)))
+	}
+
+	oracle, err := ldphh.NewHashtogram(ldphh.HashtogramParams{Eps: eps, N: n, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	urng := rand.New(rand.NewPCG(3, 4))
+	for i, item := range items {
+		if err := oracle.Absorb(oracle.Report(item, i, urng)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	oracle.Finalize()
+
+	fmt.Printf("max-information budget (Theorem 4.5): %.1f nats at β=0.05 (central model: %.0f)\n",
+		ldphh.MaxInformation(eps, n, 0.05), float64(n)*eps)
+
+	// Adaptive chase: start from a random pool, repeatedly query and keep
+	// the apparent winners — the next round's pool depends on past answers.
+	pool := rng.Perm(64)[:16]
+	var winner int
+	for r := 0; r < rounds; r++ {
+		best, bestEst := -1, math.Inf(-1)
+		for _, v := range pool {
+			if est := oracle.Estimate(dom.Item(uint64(v))); est > bestEst {
+				best, bestEst = v, est
+			}
+		}
+		winner = best
+		// Adaptively re-pool around the winner (depends on the data!).
+		pool = pool[:0]
+		for len(pool) < 16 {
+			pool = append(pool, (winner+rng.IntN(17)-8+64)%64)
+		}
+	}
+
+	est := oracle.Estimate(dom.Item(uint64(winner)))
+	fmt.Printf("adaptively chased winner: item %d\n", winner)
+	fmt.Printf("  sketch estimate: %7.0f\n", est)
+	fmt.Printf("  true frequency:  %7d\n", truth[winner])
+	fmt.Printf("  generalization gap: %.0f (noise scale ~%.0f — no adaptivity blow-up)\n",
+		math.Abs(est-float64(truth[winner])), oracle.ErrorBound(0.5))
+}

@@ -1,0 +1,77 @@
+// GenProt: purify an approximate (ε, δ)-LDP randomizer into a pure 10ε-LDP
+// protocol (Section 6 of the paper) and watch three things:
+//
+//  1. the wrapped randomizer genuinely violates pure LDP (infinite ratio);
+//  2. the purified report distribution satisfies e^{10ε} *exactly*,
+//     verified by enumeration, while costing only ⌈log₂T⌉ bits per user;
+//  3. aggregate counting accuracy survives the transformation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"ldphh"
+)
+
+func main() {
+	const eps = 0.2
+	const delta = 1e-4
+	const n = 40000
+
+	leaky := ldphh.NewLeakyRR(eps, delta)
+	fmt.Printf("wrapped randomizer: (%.1f, %g)-LDP; pure privacy ratio = %v (broken)\n",
+		eps, delta, ldphh.MaxPrivacyRatio(leaky))
+
+	T := ldphh.GenProtDefaultT(eps, n, 0.05)
+	fmt.Printf("GenProt T = %d reference samples -> report is %d bits per user\n",
+		T, bits(T))
+
+	pub := rand.New(rand.NewPCG(1, 2))
+	usr := rand.New(rand.NewPCG(3, 4))
+
+	// One transform per user (step 1 of algorithm GenProt): fresh public
+	// reference strings y_{i,t} ~ A(⊥).
+	trueOnes := 12000
+	ones, zeros := 0, 0
+	worstRatio := 0.0
+	for i := 0; i < n; i++ {
+		tr, err := ldphh.NewGenProt(ldphh.GenProtParams{Eps: eps, T: T}, leaky, pub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i < 50 { // exact privacy audit on a sample of users
+			if r := tr.MaxReportRatio(); r > worstRatio {
+				worstRatio = r
+			}
+		}
+		x := uint64(0)
+		if i < trueOnes {
+			x = 1
+		}
+		switch tr.Decode(tr.Report(x, usr)) {
+		case 1:
+			ones++
+		case 0:
+			zeros++
+		}
+	}
+	fmt.Printf("audited worst report-privacy ratio: %.4f (Theorem 6.1 bound e^{10ε} = %.4f)\n",
+		worstRatio, math.Exp(10*eps))
+
+	pKeep := math.Exp(eps) / (math.Exp(eps) + 1)
+	q := 1 - pKeep
+	est := (float64(ones) - float64(ones+zeros)*q) / (pKeep - q)
+	fmt.Printf("counting through the purified protocol: estimated %.0f ones, true %d\n",
+		est, trueOnes)
+}
+
+func bits(t int) int {
+	b := 0
+	for v := t - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+// Merge tree: a two-tier aggregation topology. Regional aggregators each
+// collect a shard of the fleet's reports into their own Hashtogram sketch
+// (identical public randomness); the central server merges the regional
+// sketches and answers frequency queries over the whole population —
+// without any aggregator ever seeing another region's raw reports.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"ldphh"
+)
+
+func main() {
+	const n = 48000
+	const regions = 6
+	params := ldphh.HashtogramParams{Eps: 1.5, N: n, Seed: 2718}
+
+	// One sketch per regional aggregator, identical parameters.
+	regional := make([]*ldphh.Hashtogram, regions)
+	for r := range regional {
+		var err error
+		regional[r], err = ldphh.NewHashtogram(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The fleet: planted popular item + long tail, users spread across
+	// regions round-robin.
+	dom := ldphh.Domain{ItemBytes: 8}
+	ds, err := ldphh.PlantedDataset(dom, n, []float64{0.20, 0.10}, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i, item := range ds.Items {
+		region := regional[i%regions]
+		if err := region.Absorb(region.Report(item, i, rng)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Central merge: fold every regional sketch into the first.
+	central := regional[0]
+	for r := 1; r < regions; r++ {
+		if err := central.Merge(regional[r]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	central.Finalize()
+
+	fmt.Printf("%d regions merged, %d total reports\n", regions, central.TotalReports())
+	for i := 1; i <= 2; i++ {
+		item := dom.Item(uint64(i))
+		est, iqr := central.EstimateWithSpread(item)
+		fmt.Printf("item %d: merged estimate %7.0f ± %5.0f (IQR), true %6d\n",
+			i, est, iqr, ds.Count(item))
+	}
+	absent := dom.Item(424242)
+	est, _ := central.EstimateWithSpread(absent)
+	fmt.Printf("absent item: merged estimate %7.0f (should be near 0)\n", est)
+}

@@ -1,0 +1,58 @@
+// Quickstart: the minimal end-to-end PrivateExpanderSketch round through the
+// public API — plant two heavy items among 30k simulated users, have every
+// user produce its single ε-LDP message, aggregate, identify.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"ldphh"
+)
+
+func main() {
+	const n = 30000
+	dom := ldphh.Domain{ItemBytes: 4}
+
+	// Synthetic population: 25% hold item 1, 18% hold item 2, the rest are
+	// unique random values (the long tail).
+	ds, err := ldphh.PlantedDataset(dom, n, []float64{0.25, 0.18}, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Server side: one protocol instance; its Seed fixes the public
+	// randomness every user shares.
+	hh, err := ldphh.NewHeavyHitters(ldphh.Params{Eps: 4, N: n, ItemBytes: 4, Y: 64, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("protocol will recover items with frequency >= %.0f (%.1f%% of n)\n",
+		hh.Params().MinRecoverableFrequency(),
+		100*hh.Params().MinRecoverableFrequency()/float64(n))
+
+	// User side: each user computes one small randomized message locally
+	// — this is the only thing that ever leaves a device.
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i, item := range ds.Items {
+		rep, err := hh.Report(item, i, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hh.Absorb(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Server side: identify the heavy hitters with frequency estimates.
+	est, err := hh.Identify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identified %d heavy hitters:\n", len(est))
+	for _, e := range est {
+		fmt.Printf("  item %x  estimated %6.0f  true %6d\n",
+			e.Item, e.Count, ds.Count(e.Item))
+	}
+}

@@ -1,0 +1,295 @@
+// Package baseline implements the two prior-work heavy-hitters protocols of
+// Table 1, so every benchmark row can be regenerated comparatively:
+//
+//   - Bitstogram — the protocol of Bassily, Nissim, Stemmer and Thakurta
+//     (NIPS 2017, reference [3]; Section 3.1.1 of the paper): a single
+//     public hash h per repetition, bit-by-bit reconstruction of candidate
+//     pre-images, and O(log(1/β)) independent repetitions to drive the
+//     failure probability down. The repetitions split the user population,
+//     which is precisely what costs the extra sqrt(log(1/β)) error factor
+//     that PrivateExpanderSketch removes.
+//
+//   - BassilySmith — a scaled-down but faithful succinct-histogram protocol
+//     in the style of Bassily and Smith (STOC 2015, reference [4]): a
+//     JL-style random ±1 projection reported one randomized bit per user and
+//     an exhaustive candidate scan over the whole domain, exhibiting the
+//     server-time blow-up the paper's Table 1 reports (DESIGN.md
+//     substitution S3).
+//
+// And NonPrivate, the exact counter used as ground truth.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/hadamard"
+	"ldphh/internal/hashing"
+)
+
+// Estimate mirrors core.Estimate for the baselines.
+type Estimate struct {
+	Item  []byte
+	Count float64
+}
+
+// BitstogramParams configures the [3]-style protocol.
+type BitstogramParams struct {
+	Eps       float64
+	N         int
+	ItemBytes int
+	Reps      int     // K independent repetitions; 0 derives ceil(log2(1/Beta))
+	Beta      float64 // target failure probability used to derive Reps (default 0.05)
+	T         int     // hash range per repetition (power of two); 0 derives ~sqrt(n)
+	ConfRows  int
+	ConfT     int
+	Seed      uint64
+}
+
+func (p *BitstogramParams) setDefaults() error {
+	if p.Eps <= 0 {
+		return fmt.Errorf("baseline: Eps must be positive")
+	}
+	if p.N <= 0 {
+		return fmt.Errorf("baseline: N must be positive")
+	}
+	if p.ItemBytes < 1 || p.ItemBytes > 64 {
+		return fmt.Errorf("baseline: ItemBytes must be in [1,64]")
+	}
+	if p.Beta == 0 {
+		p.Beta = 0.05
+	}
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("baseline: Beta must be in (0,1)")
+	}
+	if p.Reps == 0 {
+		p.Reps = int(math.Ceil(math.Log2(1 / p.Beta)))
+		if p.Reps < 1 {
+			p.Reps = 1
+		}
+	}
+	if p.T == 0 {
+		p.T = hadamard.NextPow2(int(math.Sqrt(float64(p.N))))
+		if p.T < 16 {
+			p.T = 16
+		}
+	}
+	if p.T < 2 || p.T&(p.T-1) != 0 {
+		return fmt.Errorf("baseline: T must be a power of two >= 2")
+	}
+	return nil
+}
+
+// BitstogramReport is one user's message: the (repetition, bit-position)
+// group and the two report halves.
+type BitstogramReport struct {
+	Rep  int
+	Bit  int
+	Dir  freqoracle.DirectReport
+	Conf freqoracle.HashtogramReport
+}
+
+// Bitstogram is the server. Each user is assigned to one (repetition k, bit
+// position m) group and reports, at privacy ε/2, the composite value
+// (h_k(x), x_m) into the group's DirectHistogram; the second half (ε/2)
+// feeds a confirmation Hashtogram. For each repetition and hash cell y the
+// server reads each bit as argmax{est(y,0), est(y,1)}, assembles the
+// candidate pre-image, and confirms candidates on the oracle.
+type Bitstogram struct {
+	p        BitstogramParams
+	bits     int
+	hs       []hashing.KWise
+	fold     hashing.Fingerprinter
+	partHash hashing.KWise
+	direct   [][]*freqoracle.DirectHistogram // [rep][bit]
+	conf     *freqoracle.Hashtogram
+	groupN   [][]int
+	absorbed int
+}
+
+// NewBitstogram constructs the server, drawing public randomness from Seed.
+func NewBitstogram(params BitstogramParams) (*Bitstogram, error) {
+	if err := params.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := hashing.Seeded(params.Seed, 0x42495453)
+	bits := 8 * params.ItemBytes
+	b := &Bitstogram{
+		p:        params,
+		bits:     bits,
+		hs:       make([]hashing.KWise, params.Reps),
+		fold:     hashing.NewFingerprinter(rng),
+		partHash: hashing.NewKWise(2, rng),
+		direct:   make([][]*freqoracle.DirectHistogram, params.Reps),
+		groupN:   make([][]int, params.Reps),
+	}
+	for k := 0; k < params.Reps; k++ {
+		b.hs[k] = hashing.NewKWise(2, rng)
+		b.direct[k] = make([]*freqoracle.DirectHistogram, bits)
+		b.groupN[k] = make([]int, bits)
+		for m := 0; m < bits; m++ {
+			d, err := freqoracle.NewDirectHistogram(params.Eps/2, 2*params.T)
+			if err != nil {
+				return nil, err
+			}
+			b.direct[k][m] = d
+		}
+	}
+	var err error
+	b.conf, err = freqoracle.NewHashtogram(freqoracle.HashtogramParams{
+		Eps:  params.Eps / 2,
+		N:    params.N,
+		Rows: params.ConfRows,
+		T:    params.ConfT,
+		Seed: rng.Uint64(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Params returns the defaulted parameters.
+func (b *Bitstogram) Params() BitstogramParams { return b.p }
+
+// Group returns user userIdx's (repetition, bit) assignment.
+func (b *Bitstogram) Group(userIdx int) (rep, bit int) {
+	g := b.partHash.Range(uint64(userIdx), b.p.Reps*b.bits)
+	return g / b.bits, g % b.bits
+}
+
+func itemBit(x []byte, m int) uint64 {
+	return uint64(x[m/8] >> uint(7-m%8) & 1)
+}
+
+// Report runs user userIdx's client computation for item x.
+func (b *Bitstogram) Report(x []byte, userIdx int, rng *rand.Rand) (BitstogramReport, error) {
+	if len(x) != b.p.ItemBytes {
+		return BitstogramReport{}, fmt.Errorf("baseline: item length %d, want %d", len(x), b.p.ItemBytes)
+	}
+	rep, bit := b.Group(userIdx)
+	y := uint64(b.hs[rep].Range(b.fold.Fold(x), b.p.T))
+	v := y<<1 | itemBit(x, bit)
+	dirRep, err := b.direct[rep][bit].Report(v, rng)
+	if err != nil {
+		return BitstogramReport{}, err
+	}
+	return BitstogramReport{
+		Rep:  rep,
+		Bit:  bit,
+		Dir:  dirRep,
+		Conf: b.conf.Report(x, userIdx, rng),
+	}, nil
+}
+
+// Absorb folds one report into the server state.
+func (b *Bitstogram) Absorb(rep BitstogramReport) error {
+	if rep.Rep < 0 || rep.Rep >= b.p.Reps || rep.Bit < 0 || rep.Bit >= b.bits {
+		return fmt.Errorf("baseline: report group (%d,%d) out of range", rep.Rep, rep.Bit)
+	}
+	if err := b.direct[rep.Rep][rep.Bit].Absorb(rep.Dir); err != nil {
+		return err
+	}
+	if err := b.conf.Absorb(rep.Conf); err != nil {
+		return err
+	}
+	b.groupN[rep.Rep][rep.Bit]++
+	b.absorbed++
+	return nil
+}
+
+// Identify reconstructs candidates (one per repetition and hash cell),
+// confirms their frequencies and returns the union sorted by decreasing
+// count. Candidates whose confirmed estimate falls below minCount are
+// dropped; pass 0 to keep everything.
+func (b *Bitstogram) Identify(minCount float64) ([]Estimate, error) {
+	for k := range b.direct {
+		for m := range b.direct[k] {
+			b.direct[k][m].Finalize()
+		}
+	}
+	seen := make(map[string]bool)
+	var candidates [][]byte
+	for k := 0; k < b.p.Reps; k++ {
+		for y := 0; y < b.p.T; y++ {
+			item := make([]byte, b.p.ItemBytes)
+			mass := 0.0
+			for m := 0; m < b.bits; m++ {
+				e0 := b.direct[k][m].Estimate(uint64(y) << 1)
+				e1 := b.direct[k][m].Estimate(uint64(y)<<1 | 1)
+				if e1 > e0 {
+					item[m/8] |= 1 << uint(7-m%8)
+					mass += e1
+				} else {
+					mass += e0
+				}
+			}
+			// Skip cells with no plausible mass at all (sum of per-bit
+			// estimates below a loose noise floor) to keep the candidate
+			// set near O(T) genuinely-supported cells.
+			if mass <= 0 {
+				continue
+			}
+			// The candidate must hash back to its cell; anything else was
+			// assembled from pure noise.
+			if b.hs[k].Range(b.fold.Fold(item), b.p.T) != y {
+				continue
+			}
+			if !seen[string(item)] {
+				seen[string(item)] = true
+				candidates = append(candidates, item)
+			}
+		}
+	}
+	b.conf.Finalize()
+	out := make([]Estimate, 0, len(candidates))
+	for _, it := range candidates {
+		c := b.conf.Estimate(it)
+		if c >= minCount {
+			out = append(out, Estimate{Item: it, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return string(out[i].Item) < string(out[j].Item)
+	})
+	return out, nil
+}
+
+// MinRecoverableFrequency mirrors core.Params.MinRecoverableFrequency for
+// the baseline: each (rep, bit) group holds n/(Reps·bits) users, so
+//
+//	f* ≈ 4·CEps(ε/2)·sqrt(n·bits·Reps)
+//
+// — the extra sqrt(Reps) = sqrt(log(1/β)) versus PrivateExpanderSketch is
+// exactly the sub-optimality of Theorem 3.3 item 2.
+func (b *Bitstogram) MinRecoverableFrequency() float64 {
+	e := math.Exp(b.p.Eps / 2)
+	ceps := (e + 1) / (e - 1)
+	return 4 * ceps * math.Sqrt(float64(b.p.N)*float64(b.bits)*float64(b.p.Reps))
+}
+
+// EstimateFrequency exposes the confirmation oracle after Identify.
+func (b *Bitstogram) EstimateFrequency(x []byte) float64 { return b.conf.Estimate(x) }
+
+// TotalReports returns the number of absorbed reports.
+func (b *Bitstogram) TotalReports() int { return b.absorbed }
+
+// SketchBytes returns resident server memory.
+func (b *Bitstogram) SketchBytes() int {
+	total := b.conf.SketchBytes()
+	for k := range b.direct {
+		for m := range b.direct[k] {
+			total += b.direct[k][m].SketchBytes()
+		}
+	}
+	return total
+}
+
+// BytesPerReport returns the wire size of one user message.
+func (b *Bitstogram) BytesPerReport() int { return 16 }

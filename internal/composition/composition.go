@@ -1,0 +1,243 @@
+// Package composition implements Section 5 of the paper (Theorem 5.1): the
+// algorithm M̃ that is pure ε̃-LDP with ε̃ = 6ε·sqrt(k·ln(2/β)), yet is
+// β-close in statistical distance to the k-fold composition
+// M(x) = (M_1(x), ..., M_k(x)) of ε-randomized response.
+//
+// Construction: a "good" Hamming shell around the input,
+//
+//	G_x = { y : dH(x,y) ∈ k/(e^ε+1) ± sqrt(k·ln(2/β)/2) },
+//
+// captures all but β of M(x)'s mass; M̃ samples y ← M(x), returns it if
+// y ∈ G_x, and otherwise returns a uniform sample from the complement of
+// G_x. Because the output distribution depends on y only through the
+// Hamming distance dH(x, y), all probabilities are computable in closed
+// form, which the tests exploit to verify the privacy bound exactly.
+package composition
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ldphh/internal/dist"
+)
+
+// MTilde is the Theorem 5.1 algorithm for a fixed (k, ε, β).
+type MTilde struct {
+	k    int
+	eps  float64
+	beta float64
+	p    float64 // per-bit flip probability 1/(e^ε+1)
+	lo   int     // smallest distance inside the good shell
+	hi   int     // largest distance inside the good shell
+
+	logChoose []float64 // log C(k, d)
+	// complement sampling: distance classes outside [lo, hi] weighted by
+	// C(k, d) (uniform over the complement set).
+	compDists   []int
+	compSampler *dist.Alias
+	logCompSize float64 // log(Σ_{d∉[lo,hi]} C(k,d))
+	missMass    float64 // Pr[M(x) ∉ G_x], cached
+	logUniform  float64 // log(missMass) - logCompSize, cached
+}
+
+// New constructs M̃. Requires k >= 1, eps > 0, beta in (0,1), and a
+// non-degenerate complement (the shell must not swallow all of {0,1}^k).
+func New(k int, eps, beta float64) (*MTilde, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("composition: k must be >= 1, got %d", k)
+	}
+	if eps <= 0 {
+		return nil, fmt.Errorf("composition: eps must be positive, got %v", eps)
+	}
+	if beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("composition: beta must be in (0,1), got %v", beta)
+	}
+	center := float64(k) / (math.Exp(eps) + 1)
+	halfWidth := math.Sqrt(float64(k) * math.Log(2/beta) / 2)
+	lo := int(math.Ceil(center - halfWidth))
+	hi := int(math.Floor(center + halfWidth))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > k {
+		hi = k
+	}
+	if lo > hi {
+		// Empty shell: every y is "bad" and M̃ would be uniform; reject as a
+		// degenerate parameterization.
+		return nil, fmt.Errorf("composition: empty good shell for k=%d eps=%v beta=%v", k, eps, beta)
+	}
+	m := &MTilde{
+		k:    k,
+		eps:  eps,
+		beta: beta,
+		p:    1 / (math.Exp(eps) + 1),
+		lo:   lo,
+		hi:   hi,
+	}
+	m.logChoose = make([]float64, k+1)
+	for d := 0; d <= k; d++ {
+		m.logChoose[d] = lgamma(float64(k)+1) - lgamma(float64(d)+1) - lgamma(float64(k-d)+1)
+	}
+	// Complement distance classes and their log-sum-exp normalizer.
+	var dists []int
+	var logWeights []float64
+	for d := 0; d <= k; d++ {
+		if d < lo || d > hi {
+			dists = append(dists, d)
+			logWeights = append(logWeights, m.logChoose[d])
+		}
+	}
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("composition: good shell covers all of {0,1}^%d; no complement to sample", k)
+	}
+	maxLW := math.Inf(-1)
+	for _, lw := range logWeights {
+		if lw > maxLW {
+			maxLW = lw
+		}
+	}
+	weights := make([]float64, len(logWeights))
+	sum := 0.0
+	for i, lw := range logWeights {
+		weights[i] = math.Exp(lw - maxLW)
+		sum += weights[i]
+	}
+	m.compDists = dists
+	m.compSampler = dist.NewAlias(weights)
+	m.logCompSize = maxLW + math.Log(sum)
+	inside := 0.0
+	for d := m.lo; d <= m.hi; d++ {
+		inside += math.Exp(m.logChoose[d] + m.LogProbM(d))
+	}
+	if inside > 1 {
+		inside = 1
+	}
+	m.missMass = 1 - inside
+	m.logUniform = math.Log(m.missMass) - m.logCompSize
+	return m, nil
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// K returns the number of composed randomized responses.
+func (m *MTilde) K() int { return m.k }
+
+// Shell returns the inclusive Hamming-distance window [lo, hi] of the good
+// set G_x.
+func (m *MTilde) Shell() (lo, hi int) { return m.lo, m.hi }
+
+// TildeEpsilon returns the Theorem 5.1 privacy parameter
+// ε̃ = 6ε·sqrt(k·ln(2/β)).
+func (m *MTilde) TildeEpsilon() float64 {
+	return 6 * m.eps * math.Sqrt(float64(m.k)*math.Log(2/m.beta))
+}
+
+// BasicCompositionEpsilon returns the naive pure-composition parameter k·ε.
+func (m *MTilde) BasicCompositionEpsilon() float64 { return float64(m.k) * m.eps }
+
+// Sample runs M̃(x): x is the input packed as k bits in []uint64 words.
+// The returned slice has the same packing.
+func (m *MTilde) Sample(x []uint64, rng *rand.Rand) []uint64 {
+	m.checkWords(x)
+	// y <- M(x): flip each bit with probability p.
+	y := append([]uint64(nil), x...)
+	d := 0
+	for pos := 0; pos < m.k; pos++ {
+		if rng.Float64() < m.p {
+			y[pos/64] ^= 1 << uint(pos%64)
+			d++
+		}
+	}
+	if d >= m.lo && d <= m.hi {
+		return y
+	}
+	// Outside the shell: uniform over the complement, sampled by distance
+	// class and then uniformly within the class.
+	dOut := m.compDists[m.compSampler.Sample(rng)]
+	return dist.HammingShell(x, m.k, dOut, rng)
+}
+
+// SampleM runs the unmodified composition M(x) (for statistical-distance
+// comparisons).
+func (m *MTilde) SampleM(x []uint64, rng *rand.Rand) []uint64 {
+	m.checkWords(x)
+	y := append([]uint64(nil), x...)
+	for pos := 0; pos < m.k; pos++ {
+		if rng.Float64() < m.p {
+			y[pos/64] ^= 1 << uint(pos%64)
+		}
+	}
+	return y
+}
+
+func (m *MTilde) checkWords(x []uint64) {
+	if len(x) != (m.k+63)/64 {
+		panic("composition: input word count mismatch")
+	}
+}
+
+// LogProbM returns log Pr[M(x) = y] for a y at Hamming distance d from x.
+func (m *MTilde) LogProbM(d int) float64 {
+	if d < 0 || d > m.k {
+		return math.Inf(-1)
+	}
+	return float64(d)*math.Log(m.p) + float64(m.k-d)*math.Log1p(-m.p)
+}
+
+// LogProb returns log Pr[M̃(x) = y] for a y at Hamming distance d from x.
+// Inside the shell this equals LogProbM(d); outside it is
+// log(Pr[M(x) ∉ G_x] / |complement|).
+func (m *MTilde) LogProb(d int) float64 {
+	if d < 0 || d > m.k {
+		return math.Inf(-1)
+	}
+	if d >= m.lo && d <= m.hi {
+		return m.LogProbM(d)
+	}
+	return m.logUniform
+}
+
+// MissMass returns Pr[M(x) ∉ G_x] exactly (it is at most β by Hoeffding).
+func (m *MTilde) MissMass() float64 { return m.missMass }
+
+// ExactTV returns the exact statistical distance between M̃(x) and M(x)
+// (independent of x by symmetry): the two differ only on the complement of
+// the shell.
+func (m *MTilde) ExactTV() float64 {
+	tv := 0.0
+	logUnif := m.logUniform
+	for _, d := range m.compDists {
+		perY := math.Abs(math.Exp(m.LogProbM(d)) - math.Exp(logUnif))
+		tv += math.Exp(m.logChoose[d]) * perY
+	}
+	return tv / 2
+}
+
+// MaxRatioExhaustive computes the exact worst-case privacy ratio
+// max_{x,x',y} Pr[M̃(x)=y]/Pr[M̃(x')=y] by exhausting all (dH(x,y), dH(x',y))
+// pairs consistent with some triple — for every pair of distances
+// (a, b) with |a-b| <= dH(x,x') <= a+b there exist witnesses, and the
+// probability depends only on the distances, so scanning all (a, b) in
+// [0,k]² is exact. Returns the log-ratio.
+func (m *MTilde) MaxRatioExhaustive() float64 {
+	worst := math.Inf(-1)
+	for a := 0; a <= m.k; a++ {
+		la := m.LogProb(a)
+		for b := 0; b <= m.k; b++ {
+			// A triple (x, x', y) with dH(x,y)=a, dH(x',y)=b exists iff
+			// a+b <= 2k - |a-b| ... in fact any a, b in [0,k] with
+			// a ≡ b (mod 1) trivially admits witnesses when a+b <= 2k and
+			// |a-b| <= k; both always hold. Parity imposes no constraint
+			// because dH(x,x') is free.
+			if r := la - m.LogProb(b); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,195 @@
+package composition
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestConstruction(t *testing.T) {
+	m, err := New(64, 0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Shell()
+	center := 64 / (math.Exp(0.05) + 1)
+	if float64(lo) > center || float64(hi) < center {
+		t.Errorf("shell [%d,%d] does not cover the center %.1f", lo, hi, center)
+	}
+	if m.K() != 64 {
+		t.Error("K wrong")
+	}
+	if _, err := New(0, 0.1, 0.1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(8, 0, 0.1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := New(8, 0.1, 0); err == nil {
+		t.Error("beta=0 accepted")
+	}
+}
+
+func TestMissMassAtMostBeta(t *testing.T) {
+	// The shell is built by Hoeffding to capture 1-β of M(x)'s mass.
+	for _, cfg := range []struct {
+		k    int
+		eps  float64
+		beta float64
+	}{{32, 0.05, 0.05}, {64, 0.1, 0.01}, {256, 0.02, 0.001}, {1024, 0.01, 0.05}} {
+		m, err := New(cfg.k, cfg.eps, cfg.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if miss := m.MissMass(); miss > cfg.beta {
+			t.Errorf("k=%d: miss mass %.5f exceeds beta %.3f", cfg.k, miss, cfg.beta)
+		}
+	}
+}
+
+func TestExactTVWithinBeta(t *testing.T) {
+	// Theorem 5.1 item 2: conditioned on an event of probability 1-β the
+	// outputs agree, so TV(M̃(x), M(x)) <= β; the exact TV is far smaller.
+	m, err := New(128, 0.05, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := m.ExactTV(); tv > 0.02 {
+		t.Errorf("exact TV %.5f exceeds beta", tv)
+	}
+}
+
+func TestPrivacyRatioAgainstTheorem(t *testing.T) {
+	// Exact worst-case log-ratio must be at most ε̃ = 6ε·sqrt(k·ln(2/β))
+	// whenever the theorem's preconditions hold.
+	for _, cfg := range []struct {
+		k    int
+		eps  float64
+		beta float64
+	}{{64, 0.008, 0.004}, {128, 0.005, 0.002}, {256, 0.004, 0.002}, {1024, 0.002, 0.01}} {
+		m, err := New(cfg.k, cfg.eps, cfg.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tilde := m.TildeEpsilon()
+		got := m.MaxRatioExhaustive()
+		if got > tilde {
+			t.Errorf("k=%d eps=%v beta=%v: exact log-ratio %.4f exceeds ε̃=%.4f",
+				cfg.k, cfg.eps, cfg.beta, got, tilde)
+		}
+		// The advantage over basic composition ε̃ < kε needs
+		// k > 36·ln(2/β); assert it where it applies.
+		if float64(cfg.k) > 36*math.Log(2/cfg.beta) && tilde >= m.BasicCompositionEpsilon() {
+			t.Errorf("k=%d: ε̃=%.3f not beating basic composition %.3f",
+				cfg.k, tilde, m.BasicCompositionEpsilon())
+		}
+	}
+}
+
+func TestLogProbNormalization(t *testing.T) {
+	// Σ_y Pr[M̃(x)=y] = Σ_d C(k,d)·Pr[dist d] must equal 1.
+	m, err := New(48, 0.06, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for d := 0; d <= 48; d++ {
+		total += math.Exp(m.logChoose[d] + m.LogProb(d))
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("M̃ pmf sums to %.9f", total)
+	}
+	totalM := 0.0
+	for d := 0; d <= 48; d++ {
+		totalM += math.Exp(m.logChoose[d] + m.LogProbM(d))
+	}
+	if math.Abs(totalM-1) > 1e-9 {
+		t.Fatalf("M pmf sums to %.9f", totalM)
+	}
+}
+
+func TestSamplerMatchesExactLaw(t *testing.T) {
+	// Empirical distance-class frequencies of Sample must match the exact
+	// pmf over distance classes.
+	const k = 24
+	m, err := New(k, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	x := []uint64{0x0f0f0f} // arbitrary k-bit input
+	const trials = 60000
+	counts := make([]int, k+1)
+	for i := 0; i < trials; i++ {
+		y := m.Sample(x, rng)
+		counts[hamming(x, y)]++
+	}
+	for d := 0; d <= k; d++ {
+		want := math.Exp(m.logChoose[d] + m.LogProb(d))
+		got := float64(counts[d]) / trials
+		tol := 6*math.Sqrt(want*(1-want)/trials) + 0.003
+		if math.Abs(got-want) > tol {
+			t.Errorf("distance %d: empirical %.4f, exact %.4f", d, got, want)
+		}
+	}
+}
+
+func TestSampleMMatchesBinomial(t *testing.T) {
+	const k = 16
+	m, err := New(k, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	x := []uint64{0}
+	const trials = 40000
+	counts := make([]int, k+1)
+	for i := 0; i < trials; i++ {
+		counts[hamming(x, m.SampleM(x, rng))]++
+	}
+	for d := 0; d <= k; d++ {
+		want := math.Exp(m.logChoose[d] + m.LogProbM(d))
+		got := float64(counts[d]) / trials
+		if math.Abs(got-want) > 6*math.Sqrt(want*(1-want)/trials)+0.004 {
+			t.Errorf("distance %d: empirical %.4f, binomial %.4f", d, got, want)
+		}
+	}
+}
+
+func TestSampleRejectsWrongWidth(t *testing.T) {
+	m, err := New(100, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong word count accepted")
+		}
+	}()
+	m.Sample([]uint64{0}, rand.New(rand.NewPCG(1, 1))) // needs 2 words
+}
+
+func hamming(a, b []uint64) int {
+	d := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			d++
+			x &= x - 1
+		}
+	}
+	return d
+}
+
+func BenchmarkSampleK1024(b *testing.B) {
+	m, err := New(1024, 0.01, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	x := make([]uint64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sample(x, rng)
+	}
+}

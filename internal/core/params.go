@@ -1,0 +1,172 @@
+// Package core implements PrivateExpanderSketch, the paper's primary
+// contribution (Algorithm 1, Theorem 3.13): an ε-LDP heavy-hitters protocol
+// with worst-case error O((1/ε)·sqrt(n·log(|X|/β))), optimal in all
+// parameters including the failure probability β.
+//
+// Protocol shape (Section 3.3):
+//
+//  1. Users are partitioned into M groups. User i in group m reports, at
+//     privacy ε/2, the composite value (g(x_i), h_m(x_i), Ẽnc(x_i)_m) into a
+//     small-domain DirectHistogram oracle for group m (Theorem 3.8), where g
+//     is a Θ(log|X|)-wise independent super-bucket hash and Ẽnc is the
+//     unique-list-recoverable code payload of Theorem 3.6.
+//  2. For every (m, b, y) the server takes the arg-max payload z and admits
+//     (y, z) into list L^b_m if its estimate clears a threshold, capping the
+//     list length (steps 2-3 of Algorithm 1; we admit the top-cap by
+//     estimate, which dominates the paper's first-come rule and is
+//     deterministic).
+//  3. Each bucket's lists are decoded, Ĥ^b = Dec(L^b_1..L^b_M) (step 4).
+//  4. The same users' second report halves (privacy ε/2) feed a Hashtogram
+//     confirmation oracle (Theorem 3.7) that estimates the frequency of each
+//     candidate (steps 5-6); each user therefore sends exactly one message
+//     carrying both halves, and the whole protocol is non-interactive ε-LDP
+//     by basic composition.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ldphh/internal/hadamard"
+	"ldphh/internal/listrec"
+)
+
+// Params configures PrivateExpanderSketch. Zero fields are derived from
+// Eps, N and ItemBytes with the paper's formulas scaled to practical
+// constants; see DESIGN.md §3.
+type Params struct {
+	Eps       float64 // total privacy budget per user (split ε/2 + ε/2)
+	N         int     // expected number of users
+	ItemBytes int     // fixed item width; |X| = 256^ItemBytes
+
+	// Coordinates and code (Theorem 3.6). M defaults to 2·ItemBytes /
+	// ChunkBytes (Reed-Solomon rate 1/2).
+	M          int
+	ChunkBytes int
+	Y          int     // per-coordinate hash range (power of two), default 512
+	F          int     // neighbour fingerprint range (power of two), default 2
+	D          int     // expander degree, default 4
+	B          int     // super-buckets for g, default from ε√n/log^1.5|X| (min 1)
+	GWise      int     // independence of g, default max(8, log2|X|/4)
+	ListCap    int     // ℓ, default 4·log2|X|
+	TauFactor  float64 // admission threshold in units of CEps(ε/2)·sqrt(n_m);
+	// default sqrt(2·ln(cells))+1 so τ dominates the maximum of the
+	// per-coordinate noise over all B·Y·Z cells (the role of C_f in step 3b)
+
+	// Confirmation oracle (Theorem 3.7) overrides; 0 = derive from N.
+	ConfRows int
+	ConfT    int
+
+	Seed uint64 // public randomness seed
+}
+
+func (p *Params) setDefaults() error {
+	if p.Eps <= 0 {
+		return fmt.Errorf("core: Eps must be positive, got %v", p.Eps)
+	}
+	if p.N <= 0 {
+		return fmt.Errorf("core: N must be positive, got %d", p.N)
+	}
+	if p.ItemBytes < 1 || p.ItemBytes > 64 {
+		return fmt.Errorf("core: ItemBytes must be in [1,64], got %d", p.ItemBytes)
+	}
+	if p.ChunkBytes == 0 {
+		p.ChunkBytes = 1
+	}
+	if p.M == 0 {
+		p.M = 2 * p.ItemBytes / p.ChunkBytes
+		if p.M < 4 {
+			p.M = 4
+		}
+	}
+	if p.Y == 0 {
+		p.Y = 512
+	}
+	if p.F == 0 {
+		p.F = 2
+	}
+	if p.D == 0 {
+		p.D = 4
+	}
+	logX := 8 * float64(p.ItemBytes)
+	if p.B == 0 {
+		b := p.Eps * math.Sqrt(float64(p.N)) / (10 * math.Pow(logX, 1.5))
+		p.B = int(math.Max(1, math.Floor(b)))
+	}
+	if p.GWise == 0 {
+		p.GWise = int(math.Max(8, logX/4))
+	}
+	if p.ListCap == 0 {
+		p.ListCap = int(4 * logX)
+	}
+	if p.TauFactor == 0 {
+		// The admission threshold must exceed the *maximum* of the
+		// sub-gaussian cell noise over the whole per-coordinate report
+		// domain, or every (b, y) pair admits a junk arg-max entry and the
+		// decode graph floods. E[max of k gaussians] ≈ σ·sqrt(2·ln k).
+		cells := float64(p.B*p.Y) * math.Exp2(float64(p.zbits()))
+		p.TauFactor = math.Sqrt(2*math.Log(cells)) + 1
+	}
+	if p.B < 1 {
+		return fmt.Errorf("core: B must be >= 1, got %d", p.B)
+	}
+	if p.ListCap < 1 {
+		return fmt.Errorf("core: ListCap must be >= 1, got %d", p.ListCap)
+	}
+	if p.TauFactor <= 0 {
+		return fmt.Errorf("core: TauFactor must be positive, got %v", p.TauFactor)
+	}
+	return nil
+}
+
+// zbits returns the packed payload width of the Theorem 3.6 code for these
+// parameters (chunk bytes plus one fingerprint per expander neighbour,
+// accounting for the complete-graph fallback at tiny M).
+func (p Params) zbits() int {
+	dEff := p.D
+	if p.M <= p.D+1 {
+		dEff = p.M - 1
+	}
+	fbits := 0
+	for f := p.F; f > 1; f >>= 1 {
+		fbits++
+	}
+	return 8*p.ChunkBytes + dEff*fbits
+}
+
+// codeParams derives the Theorem 3.6 code parameters.
+func (p Params) codeParams() listrec.Params {
+	return listrec.Params{
+		ItemBytes:  p.ItemBytes,
+		M:          p.M,
+		ChunkBytes: p.ChunkBytes,
+		Y:          p.Y,
+		F:          p.F,
+		D:          p.D,
+	}
+}
+
+// CellsPerCoordinate returns the size of the per-coordinate report domain
+// [B]x[Y]x[Z] after padding; it bounds both the per-coordinate server memory
+// (8 bytes per cell during aggregation) and the step-2 scan cost.
+func (p Params) CellsPerCoordinate(zbits int) int {
+	return hadamard.NextPow2(p.B * p.Y * (1 << uint(zbits)))
+}
+
+// MinRecoverableFrequency estimates the smallest multiplicity this
+// configuration reliably identifies: a heavy hitter needs its per-coordinate
+// count f/M to clear the admission threshold τ = TauFactor·σ plus ~2σ of its
+// own estimate noise, where σ = CEps(ε/2)·sqrt(n/M). This is the
+// Theorem 3.13 item-2 bound with this implementation's concrete constants:
+//
+//	f* ≈ (TauFactor+2)·CEps(ε/2)·sqrt(n·M)
+//
+// Note sqrt(n·M) = sqrt(n·log|X|/loglog|X|) — the paper's optimal shape, and
+// TauFactor carries the sqrt(log) of the per-coordinate domain size exactly
+// like the paper's C_f·loglog|X| calibration.
+func (p Params) MinRecoverableFrequency() float64 {
+	eps1 := p.Eps / 2
+	e := math.Exp(eps1)
+	ceps := (e + 1) / (e - 1)
+	return (p.TauFactor + 2) * ceps * math.Sqrt(float64(p.N)*float64(p.M))
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/hashing"
+	"ldphh/internal/listrec"
+)
+
+// Report is one user's single ε-LDP message: the user's coordinate group,
+// the step-1 DirectHistogram half (privacy ε/2) and the step-5 Hashtogram
+// confirmation half (privacy ε/2).
+type Report struct {
+	M    int
+	Dir  freqoracle.DirectReport
+	Conf freqoracle.HashtogramReport
+}
+
+// Estimate is one output row: an identified item and its estimated
+// multiplicity.
+type Estimate struct {
+	Item  []byte
+	Count float64
+}
+
+// Protocol is the PrivateExpanderSketch server. Construct with New, have
+// each user call Report (the client-side computation), Absorb every report,
+// then call Identify once.
+type Protocol struct {
+	p        Params
+	code     *listrec.Code
+	g        hashing.KWise
+	fold     hashing.Fingerprinter
+	partHash hashing.KWise // user index -> coordinate group (public partition)
+	direct   []*freqoracle.DirectHistogram
+	conf     *freqoracle.Hashtogram
+	zbits    int
+	groupN   []int
+	absorbed int
+	rng      *rand.Rand // drives decode-side cluster refinement only
+}
+
+// New constructs the protocol and draws all public randomness from
+// params.Seed.
+func New(params Params) (*Protocol, error) {
+	if err := params.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := hashing.Seeded(params.Seed, 0x50455321)
+	code, err := listrec.New(params.codeParams(), rng)
+	if err != nil {
+		return nil, err
+	}
+	zbits := code.ZBits()
+	cells := params.CellsPerCoordinate(zbits)
+	const maxCells = 1 << 26
+	if cells > maxCells {
+		return nil, fmt.Errorf("core: per-coordinate domain %d cells exceeds %d; shrink Y, F, D or ChunkBytes",
+			cells, maxCells)
+	}
+	pr := &Protocol{
+		p:        params,
+		code:     code,
+		g:        hashing.NewKWise(params.GWise, rng),
+		fold:     hashing.NewFingerprinter(rng),
+		partHash: hashing.NewKWise(2, rng),
+		direct:   make([]*freqoracle.DirectHistogram, params.M),
+		zbits:    zbits,
+		groupN:   make([]int, params.M),
+		rng:      rng,
+	}
+	for m := 0; m < params.M; m++ {
+		d, err := freqoracle.NewDirectHistogram(params.Eps/2, params.B*params.Y*(1<<uint(zbits)))
+		if err != nil {
+			return nil, err
+		}
+		pr.direct[m] = d
+	}
+	pr.conf, err = freqoracle.NewHashtogram(freqoracle.HashtogramParams{
+		Eps:  params.Eps / 2,
+		N:    params.N,
+		Rows: params.ConfRows,
+		T:    params.ConfT,
+		Seed: rng.Uint64(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Params returns the defaulted parameters.
+func (pr *Protocol) Params() Params { return pr.p }
+
+// Code exposes the unique-list-recoverable code (public randomness).
+func (pr *Protocol) Code() *listrec.Code { return pr.code }
+
+// Group returns the coordinate group of user userIdx (public partition).
+func (pr *Protocol) Group(userIdx int) int {
+	return pr.partHash.Range(uint64(userIdx), pr.p.M)
+}
+
+// Bucket returns g(x) in [0, B).
+func (pr *Protocol) Bucket(x []byte) int {
+	return pr.g.Range(pr.fold.Fold(x), pr.p.B)
+}
+
+// cell packs (b, y, z) into the per-coordinate report domain:
+// ((b·Y + y) << zbits) | z.
+func (pr *Protocol) cell(b, y int, z uint64) uint64 {
+	return (uint64(b)*uint64(pr.p.Y)+uint64(y))<<uint(pr.zbits) | z
+}
+
+// Report runs user userIdx's client computation on item x: O(M) hash and
+// code evaluations and two randomized bits, all inside one message.
+func (pr *Protocol) Report(x []byte, userIdx int, rng *rand.Rand) (Report, error) {
+	if len(x) != pr.p.ItemBytes {
+		return Report{}, fmt.Errorf("core: item length %d, want %d", len(x), pr.p.ItemBytes)
+	}
+	m := pr.Group(userIdx)
+	enc, err := pr.code.Encode(x)
+	if err != nil {
+		return Report{}, err
+	}
+	sym := enc[m]
+	v := pr.cell(pr.Bucket(x), sym.Y, sym.Z)
+	dirRep, err := pr.direct[m].Report(v, rng)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		M:    m,
+		Dir:  dirRep,
+		Conf: pr.conf.Report(x, userIdx, rng),
+	}, nil
+}
+
+// Absorb folds one user report into the server state.
+func (pr *Protocol) Absorb(rep Report) error {
+	if rep.M < 0 || rep.M >= pr.p.M {
+		return fmt.Errorf("core: report group %d out of range", rep.M)
+	}
+	if err := pr.direct[rep.M].Absorb(rep.Dir); err != nil {
+		return err
+	}
+	if err := pr.conf.Absorb(rep.Conf); err != nil {
+		return err
+	}
+	pr.groupN[rep.M]++
+	pr.absorbed++
+	return nil
+}
+
+// listEntry is a candidate (y, z) with its estimate, used for top-cap
+// admission.
+type listEntry struct {
+	sym listrec.Symbol
+	est float64
+}
+
+// Identify runs the server-side reconstruction (steps 2-6 of Algorithm 1)
+// and returns the estimates sorted by decreasing count. It finalizes the
+// protocol; further Absorb calls fail.
+func (pr *Protocol) Identify() ([]Estimate, error) {
+	// Finalize the per-coordinate oracles. Each holds an O(cells) buffer, so
+	// run sequentially when cells is large to bound peak memory, in parallel
+	// otherwise.
+	cells := pr.p.CellsPerCoordinate(pr.zbits)
+	if cells <= 1<<20 {
+		var wg sync.WaitGroup
+		for m := 0; m < pr.p.M; m++ {
+			wg.Add(1)
+			go func(m int) { defer wg.Done(); pr.direct[m].Finalize() }(m)
+		}
+		wg.Wait()
+	} else {
+		for m := 0; m < pr.p.M; m++ {
+			pr.direct[m].Finalize()
+		}
+	}
+
+	// Steps 2-3: per (m, b, y) arg-max over z, threshold, top-cap lists.
+	lists := make([][][]listrec.Symbol, pr.p.B) // [b][m] -> list
+	for b := range lists {
+		lists[b] = make([][]listrec.Symbol, pr.p.M)
+	}
+	zSize := uint64(1) << uint(pr.zbits)
+	for m := 0; m < pr.p.M; m++ {
+		tau := pr.threshold(m)
+		hist := pr.direct[m].Histogram()
+		for b := 0; b < pr.p.B; b++ {
+			var entries []listEntry
+			for y := 0; y < pr.p.Y; y++ {
+				base := pr.cell(b, y, 0)
+				bestZ, bestV := uint64(0), math.Inf(-1)
+				for z := uint64(0); z < zSize; z++ {
+					if v := hist[base+z]; v > bestV {
+						bestV, bestZ = v, z
+					}
+				}
+				if bestV >= tau {
+					entries = append(entries, listEntry{
+						sym: listrec.Symbol{Y: y, Z: bestZ},
+						est: bestV,
+					})
+				}
+			}
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].est != entries[j].est {
+					return entries[i].est > entries[j].est
+				}
+				return entries[i].sym.Y < entries[j].sym.Y
+			})
+			if len(entries) > pr.p.ListCap {
+				entries = entries[:pr.p.ListCap]
+			}
+			syms := make([]listrec.Symbol, len(entries))
+			for i, e := range entries {
+				syms[i] = e.sym
+			}
+			lists[b][m] = syms
+		}
+	}
+
+	// Step 4: decode each super-bucket.
+	seen := make(map[string]bool)
+	var candidates [][]byte
+	for b := 0; b < pr.p.B; b++ {
+		items, err := pr.code.Decode(lists[b], pr.rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding bucket %d: %w", b, err)
+		}
+		for _, it := range items {
+			// The decoded item must actually map to this super-bucket;
+			// anything else is a phantom assembled from cross-bucket noise.
+			if pr.Bucket(it) != b {
+				continue
+			}
+			if !seen[string(it)] {
+				seen[string(it)] = true
+				candidates = append(candidates, it)
+			}
+		}
+	}
+
+	// Steps 5-6: confirm frequencies with the second report halves.
+	pr.conf.Finalize()
+	out := make([]Estimate, 0, len(candidates))
+	for _, it := range candidates {
+		out = append(out, Estimate{Item: it, Count: pr.conf.Estimate(it)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return string(out[i].Item) < string(out[j].Item)
+	})
+	return out, nil
+}
+
+// threshold is the step-3b admission bound for coordinate m:
+// TauFactor standard deviations of the group's estimator noise.
+func (pr *Protocol) threshold(m int) float64 {
+	nm := float64(pr.groupN[m])
+	if nm < 1 {
+		nm = 1
+	}
+	eps1 := pr.p.Eps / 2
+	e := math.Exp(eps1)
+	ceps := (e + 1) / (e - 1)
+	return pr.p.TauFactor * ceps * math.Sqrt(nm)
+}
+
+// EstimateFrequency exposes the confirmation oracle for ad-hoc queries
+// after Identify (the protocol is a frequency oracle too, Definition 3.2).
+func (pr *Protocol) EstimateFrequency(x []byte) float64 {
+	return pr.conf.Estimate(x)
+}
+
+// TotalReports returns the number of absorbed reports.
+func (pr *Protocol) TotalReports() int { return pr.absorbed }
+
+// SketchBytes returns the resident server memory across both phases.
+func (pr *Protocol) SketchBytes() int {
+	total := pr.conf.SketchBytes()
+	for _, d := range pr.direct {
+		total += d.SketchBytes()
+	}
+	return total
+}
+
+// BytesPerReport returns the wire size of one user message: group (2) +
+// direct column (4) + bit (1) + confirmation row (2) + column (4) + bit (1).
+func (pr *Protocol) BytesPerReport() int { return 14 }

@@ -1,0 +1,47 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary received words must never panic the decoder, and
+// whenever it claims success, the returned message must re-encode to a
+// codeword within correction distance of the input (i.e. the decoder only
+// ever outputs genuine codewords).
+func FuzzDecode(f *testing.F) {
+	code, err := New(24, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	clean, _ := code.Encode(bytes.Repeat([]byte{7}, 16))
+	f.Add(clean)
+	corrupt := append([]byte(nil), clean...)
+	corrupt[0] ^= 0xff
+	corrupt[13] ^= 0x55
+	f.Add(corrupt)
+	f.Add(make([]byte, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != 24 {
+			return
+		}
+		msg, err := code.Decode(data, nil)
+		if err != nil {
+			return
+		}
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to encode: %v", err)
+		}
+		diff := 0
+		for i := range cw {
+			if cw[i] != data[i] {
+				diff++
+			}
+		}
+		if diff > code.MaxErrors() {
+			t.Fatalf("decoder accepted a word %d symbols from any codeword (max %d)",
+				diff, code.MaxErrors())
+		}
+	})
+}

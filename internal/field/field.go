@@ -1,0 +1,97 @@
+// Package field implements arithmetic in the prime field GF(p) for the
+// Mersenne prime p = 2^61 - 1.
+//
+// Every hash family in this repository (pairwise independent, k-wise
+// independent, and byte-string fingerprints) evaluates polynomials over this
+// field. The Mersenne structure lets us reduce a 122-bit product with two
+// shifts and an add, so Mul is branch-light and fast enough to sit on the
+// per-user hot path of the protocols.
+package field
+
+import "math/bits"
+
+// P is the field modulus, the Mersenne prime 2^61 - 1.
+const P uint64 = (1 << 61) - 1
+
+// Elem is a field element. Valid values are in [0, P). The arithmetic
+// functions accept any canonical element and return canonical elements.
+type Elem = uint64
+
+// Reduce maps an arbitrary uint64 into [0, P).
+func Reduce(x uint64) Elem {
+	// x = hi*2^61 + lo with hi < 8; 2^61 ≡ 1 (mod P).
+	x = (x >> 61) + (x & P)
+	if x >= P {
+		x -= P
+	}
+	return x
+}
+
+// Add returns a+b mod P. Inputs must be canonical.
+func Add(a, b Elem) Elem {
+	s := a + b // < 2^62, no overflow
+	if s >= P {
+		s -= P
+	}
+	return s
+}
+
+// Sub returns a-b mod P. Inputs must be canonical.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + P - b
+}
+
+// Neg returns -a mod P.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return P - a
+}
+
+// Mul returns a*b mod P using the Mersenne reduction
+// hi*2^64 + lo = hi*2^3*2^61 + lo ≡ hi*8 + lo (mod 2^61-1).
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(a, b)
+	// lo = l1*2^61 + l0, product ≡ hi*8 + l1 + l0 (mod P).
+	// hi < 2^58 so hi*8 < 2^61; the sum fits in 63 bits.
+	s := (hi << 3) | (lo >> 61)
+	t := lo & P
+	return Add(Reduce(s), t)
+}
+
+// Pow returns a^e mod P by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	r := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			r = Mul(r, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of a (a must be nonzero).
+// Uses Fermat: a^(P-2).
+func Inv(a Elem) Elem {
+	return Pow(a, P-2)
+}
+
+// EvalPoly evaluates the polynomial with coefficients coeffs (degree
+// ascending: coeffs[0] + coeffs[1]*x + ...) at x, by Horner's rule.
+func EvalPoly(coeffs []Elem, x Elem) Elem {
+	if len(coeffs) == 0 {
+		return 0
+	}
+	acc := coeffs[len(coeffs)-1]
+	for i := len(coeffs) - 2; i >= 0; i-- {
+		acc = Add(Mul(acc, x), coeffs[i])
+	}
+	return acc
+}

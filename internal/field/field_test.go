@@ -1,0 +1,176 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceCanonical(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want Elem
+	}{
+		{0, 0},
+		{1, 1},
+		{P - 1, P - 1},
+		{P, 0},
+		{P + 1, 1},
+		{2 * P, 0},
+		{^uint64(0), Reduce(^uint64(0))},
+	}
+	for _, c := range cases {
+		got := Reduce(c.in)
+		if got >= P {
+			t.Fatalf("Reduce(%d) = %d, not canonical", c.in, got)
+		}
+		if got != c.want {
+			t.Errorf("Reduce(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got%P != c.in%P {
+			t.Errorf("Reduce(%d) = %d, incongruent", c.in, got)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		a := Reduce(rng.Uint64())
+		b := Reduce(rng.Uint64())
+		if got := Sub(Add(a, b), b); got != a {
+			t.Fatalf("(a+b)-b = %d, want %d", got, a)
+		}
+		if got := Add(a, Neg(a)); got != 0 {
+			t.Fatalf("a + (-a) = %d, want 0", got)
+		}
+	}
+}
+
+func TestMulMatchesBigIntSemantics(t *testing.T) {
+	// Cross-check Mul against 128-bit schoolbook reduction done a second,
+	// slower way: repeated subtraction via Pow identity a*b = a^1 * b.
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 2000; i++ {
+		a := Reduce(rng.Uint64())
+		b := Reduce(rng.Uint64())
+		got := Mul(a, b)
+		if got >= P {
+			t.Fatalf("Mul out of range: %d", got)
+		}
+		// Reference: compute via math/bits 128-bit remainder.
+		want := mulRef(a, b)
+		if got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// mulRef reduces the 128-bit product with binary long division.
+func mulRef(a, b uint64) uint64 {
+	var r uint64
+	for i := 63; i >= 0; i-- {
+		r = r << 1
+		if r >= P {
+			r -= P
+		}
+		if b&(1<<uint(i)) != 0 {
+			r += a % P
+			if r >= P {
+				r -= P
+			}
+		}
+	}
+	return r
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	canon := func(x uint64) Elem { return Reduce(x) }
+
+	commutative := func(x, y uint64) bool {
+		a, b := canon(x), canon(y)
+		return Mul(a, b) == Mul(b, a) && Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+
+	associative := func(x, y, z uint64) bool {
+		a, b, c := canon(x), canon(y), canon(z)
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) &&
+			Add(Add(a, b), c) == Add(a, Add(b, c))
+	}
+	if err := quick.Check(associative, nil); err != nil {
+		t.Error(err)
+	}
+
+	distributive := func(x, y, z uint64) bool {
+		a, b, c := canon(x), canon(y), canon(z)
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distributive, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 200; i++ {
+		a := Reduce(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if got := Mul(a, Inv(a)); got != 1 {
+			t.Fatalf("a * a^-1 = %d, want 1 (a=%d)", got, a)
+		}
+	}
+	if Inv(1) != 1 {
+		t.Error("Inv(1) != 1")
+	}
+}
+
+func TestPow(t *testing.T) {
+	// 2^61 = P + 1 ≡ 1 (mod P).
+	if got := Pow(2, 61); got != 1 {
+		t.Errorf("Pow(2,61) = %d, want 1", got)
+	}
+	if Pow(5, 0) != 1 {
+		t.Error("x^0 != 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("0^5 != 0")
+	}
+	// Fermat: a^(P-1) = 1 for a != 0.
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 50; i++ {
+		a := Reduce(rng.Uint64())
+		if a == 0 {
+			continue
+		}
+		if Pow(a, P-1) != 1 {
+			t.Fatalf("Fermat fails for %d", a)
+		}
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 at x=5 -> 3 + 10 + 25 = 38.
+	if got := EvalPoly([]Elem{3, 2, 1}, 5); got != 38 {
+		t.Errorf("EvalPoly = %d, want 38", got)
+	}
+	if got := EvalPoly(nil, 10); got != 0 {
+		t.Errorf("EvalPoly(nil) = %d, want 0", got)
+	}
+	if got := EvalPoly([]Elem{7}, 10); got != 7 {
+		t.Errorf("constant poly = %d, want 7", got)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := Reduce(0x123456789abcdef)
+	y := Reduce(0xfedcba987654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}

@@ -1,0 +1,259 @@
+package freqoracle
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ldphh/internal/hashing"
+	"ldphh/internal/ldp"
+)
+
+// Oracle is the uniform experiment-facing view of a frequency oracle: feed
+// users one at a time (each call runs the client half and immediately
+// absorbs the report server-side), finalize, then query estimates.
+type Oracle interface {
+	Name() string
+	AddUser(x []byte, userIdx int, rng *rand.Rand) error
+	Finalize()
+	Estimate(x []byte) float64
+	// BytesPerReport is the wire size of one user report.
+	BytesPerReport() int
+	// SketchBytes is the resident server memory after Finalize.
+	SketchBytes() int
+}
+
+// HashtogramOracle adapts Hashtogram to the Oracle interface.
+type HashtogramOracle struct {
+	H *Hashtogram
+}
+
+// NewHashtogramOracle constructs the adapter.
+func NewHashtogramOracle(params HashtogramParams) (*HashtogramOracle, error) {
+	h, err := NewHashtogram(params)
+	if err != nil {
+		return nil, err
+	}
+	return &HashtogramOracle{H: h}, nil
+}
+
+// Name implements Oracle.
+func (o *HashtogramOracle) Name() string { return "hashtogram" }
+
+// AddUser implements Oracle.
+func (o *HashtogramOracle) AddUser(x []byte, userIdx int, rng *rand.Rand) error {
+	return o.H.Absorb(o.H.Report(x, userIdx, rng))
+}
+
+// Finalize implements Oracle.
+func (o *HashtogramOracle) Finalize() { o.H.Finalize() }
+
+// Estimate implements Oracle.
+func (o *HashtogramOracle) Estimate(x []byte) float64 { return o.H.Estimate(x) }
+
+// BytesPerReport implements Oracle: row (2) + column (4) + bit (1).
+func (o *HashtogramOracle) BytesPerReport() int { return 7 }
+
+// SketchBytes implements Oracle.
+func (o *HashtogramOracle) SketchBytes() int { return o.H.SketchBytes() }
+
+// RAPPOROracle is the basic one-time RAPPOR frequency oracle [12]: Bloom
+// masks through per-bit randomized response, estimated per candidate from
+// unbiased bit counts (averaged over the candidate's Bloom bits; Bloom
+// collisions bias estimates upward, which is the known behaviour of the
+// deployed system and part of why the paper's sketch-based oracles win).
+type RAPPOROracle struct {
+	r        ldp.RAPPOR
+	bitCount []int
+	n        int
+}
+
+// NewRAPPOROracle constructs the oracle.
+func NewRAPPOROracle(eps float64, bloomBits, numHashes int, seed uint64) *RAPPOROracle {
+	return &RAPPOROracle{
+		r:        ldp.NewRAPPOR(eps, bloomBits, numHashes, seed, seed^0x5bd1e995),
+		bitCount: make([]int, bloomBits),
+	}
+}
+
+// Name implements Oracle.
+func (o *RAPPOROracle) Name() string { return "rappor" }
+
+// AddUser implements Oracle.
+func (o *RAPPOROracle) AddUser(x []byte, _ int, rng *rand.Rand) error {
+	rep := o.r.Sample(o.r.BloomMask(x), rng)
+	for i := 0; i < o.r.BloomBits(); i++ {
+		if rep>>uint(i)&1 == 1 {
+			o.bitCount[i]++
+		}
+	}
+	o.n++
+	return nil
+}
+
+// Finalize implements Oracle (RAPPOR needs no reconstruction pass).
+func (o *RAPPOROracle) Finalize() {}
+
+// Estimate implements Oracle.
+func (o *RAPPOROracle) Estimate(x []byte) float64 {
+	mask := o.r.BloomMask(x)
+	p := o.r.PKeep()
+	q := 1 - p
+	sum, bits := 0.0, 0
+	for i := 0; i < o.r.BloomBits(); i++ {
+		if mask>>uint(i)&1 == 1 {
+			sum += (float64(o.bitCount[i]) - q*float64(o.n)) / (p - q)
+			bits++
+		}
+	}
+	if bits == 0 {
+		return 0
+	}
+	return sum / float64(bits)
+}
+
+// BytesPerReport implements Oracle.
+func (o *RAPPOROracle) BytesPerReport() int { return (o.r.BloomBits() + 7) / 8 }
+
+// SketchBytes implements Oracle.
+func (o *RAPPOROracle) SketchBytes() int { return 8 * len(o.bitCount) }
+
+// OLHOracle is optimized local hashing (Wang et al.): each user hashes its
+// item with a per-user public hash into g = ⌈e^ε⌉+1 buckets and reports the
+// bucket through g-ary randomized response. Reports are O(1) bits but every
+// Estimate costs O(n) — the classic trade-off this family accepts.
+type OLHOracle struct {
+	eps     float64
+	g       uint64
+	rr      ldp.KaryRR
+	mix     hashing.KWise
+	fold    hashing.Fingerprinter
+	reports []uint16
+}
+
+// NewOLHOracle constructs the oracle; g defaults to ⌈e^ε⌉+1 when g == 0.
+func NewOLHOracle(eps float64, g uint64, seed uint64) (*OLHOracle, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("freqoracle: Eps must be positive")
+	}
+	if g == 0 {
+		g = uint64(math.Ceil(math.Exp(eps))) + 1
+	}
+	if g < 2 || g > 1<<16 {
+		return nil, fmt.Errorf("freqoracle: OLH g=%d out of range", g)
+	}
+	rng := hashing.Seeded(seed, 0x4f4c48)
+	return &OLHOracle{
+		eps:  eps,
+		g:    g,
+		rr:   ldp.NewKaryRR(eps, g),
+		mix:  hashing.NewKWise(2, rng),
+		fold: hashing.NewFingerprinter(rng),
+	}, nil
+}
+
+// userHash maps (user, item) to a bucket in [g]; the per-user hash function
+// is the public pairwise family evaluated on a mixed key.
+func (o *OLHOracle) userHash(userIdx int, x []byte) uint64 {
+	key := o.fold.Fold(x) ^ (uint64(userIdx)+1)*0x9e3779b97f4a7c15
+	return uint64(o.mix.Range(key, int(o.g)))
+}
+
+// Name implements Oracle.
+func (o *OLHOracle) Name() string { return "olh" }
+
+// AddUser implements Oracle.
+func (o *OLHOracle) AddUser(x []byte, userIdx int, rng *rand.Rand) error {
+	v := o.userHash(userIdx, x)
+	o.reports = append(o.reports, uint16(o.rr.Sample(v, rng)))
+	return nil
+}
+
+// Finalize implements Oracle.
+func (o *OLHOracle) Finalize() {}
+
+// Estimate implements Oracle. O(n) per query.
+func (o *OLHOracle) Estimate(x []byte) float64 {
+	n := len(o.reports)
+	if n == 0 {
+		return 0
+	}
+	support := 0
+	for u, rep := range o.reports {
+		if uint64(rep) == o.userHash(u, x) {
+			support++
+		}
+	}
+	p := o.rr.PKeep()
+	q := 1 / float64(o.g)
+	// A non-holder supports with probability exactly 1/g (its hash is an
+	// independent uniform bucket); a holder supports with probability p.
+	return (float64(support) - q*float64(n)) / (p - q)
+}
+
+// BytesPerReport implements Oracle.
+func (o *OLHOracle) BytesPerReport() int { return 2 }
+
+// SketchBytes implements Oracle (stores all reports).
+func (o *OLHOracle) SketchBytes() int { return 2 * len(o.reports) }
+
+// KRROracle applies k-ary randomized response over an explicit candidate
+// set; items outside the set are rejected. It is the textbook small-domain
+// baseline.
+type KRROracle struct {
+	rr     ldp.KaryRR
+	index  map[string]uint64
+	counts []int
+	n      int
+}
+
+// NewKRROracle constructs the oracle over the candidate set.
+func NewKRROracle(eps float64, candidates [][]byte) (*KRROracle, error) {
+	if len(candidates) < 2 {
+		return nil, fmt.Errorf("freqoracle: KRR needs at least 2 candidates")
+	}
+	index := make(map[string]uint64, len(candidates))
+	for i, c := range candidates {
+		if _, dup := index[string(c)]; dup {
+			return nil, fmt.Errorf("freqoracle: duplicate candidate %q", c)
+		}
+		index[string(c)] = uint64(i)
+	}
+	return &KRROracle{
+		rr:     ldp.NewKaryRR(eps, uint64(len(candidates))),
+		index:  index,
+		counts: make([]int, len(candidates)),
+	}, nil
+}
+
+// Name implements Oracle.
+func (o *KRROracle) Name() string { return "krr" }
+
+// AddUser implements Oracle.
+func (o *KRROracle) AddUser(x []byte, _ int, rng *rand.Rand) error {
+	v, ok := o.index[string(x)]
+	if !ok {
+		return fmt.Errorf("freqoracle: item %q not in KRR candidate set", x)
+	}
+	o.counts[o.rr.Sample(v, rng)]++
+	o.n++
+	return nil
+}
+
+// Finalize implements Oracle.
+func (o *KRROracle) Finalize() {}
+
+// Estimate implements Oracle.
+func (o *KRROracle) Estimate(x []byte) float64 {
+	v, ok := o.index[string(x)]
+	if !ok {
+		return 0
+	}
+	return o.rr.Unbias(o.counts[v], o.n)
+}
+
+// BytesPerReport implements Oracle.
+func (o *KRROracle) BytesPerReport() int { return 4 }
+
+// SketchBytes implements Oracle.
+func (o *KRROracle) SketchBytes() int { return 8 * len(o.counts) }

@@ -1,0 +1,168 @@
+package freqoracle
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ldphh/internal/hadamard"
+	"ldphh/internal/ldp"
+)
+
+// DirectHistogram is the small-domain oracle of Theorem 3.8: every user
+// holds a value in an explicit domain [0, Domain) and reports one Hadamard
+// bit of its one-hot encoding over the padded domain [T], T = NextPow2(Domain).
+// The server reconstructs the entire estimated histogram with a single fast
+// Walsh-Hadamard transform, so point queries and full scans are O(1) and
+// O(Domain) respectively after Finalize.
+//
+// Per-query error is O((1/ε)·sqrt(n·log(1/β))) — no dependence on the domain
+// size — at server memory O(Domain), exactly the Theorem 3.8 trade-off that
+// PrivateExpanderSketch exploits per coordinate.
+type DirectHistogram struct {
+	eps       float64
+	domain    int
+	t         int
+	rand      ldp.HadamardBit
+	acc       []float64
+	n         int
+	hist      []float64
+	finalized bool
+}
+
+// DirectReport is one user's message: a Hadamard column and a ±1 bit.
+type DirectReport struct {
+	Col uint32
+	Bit int8
+}
+
+// NewDirectHistogram constructs the oracle over an explicit domain of the
+// given size with privacy parameter eps.
+func NewDirectHistogram(eps float64, domain int) (*DirectHistogram, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("freqoracle: Eps must be positive, got %v", eps)
+	}
+	if domain < 1 {
+		return nil, fmt.Errorf("freqoracle: domain must be positive, got %d", domain)
+	}
+	t := hadamard.NextPow2(domain)
+	if t < 2 {
+		t = 2
+	}
+	return &DirectHistogram{
+		eps:    eps,
+		domain: domain,
+		t:      t,
+		rand:   ldp.NewHadamardBit(eps, t),
+		acc:    make([]float64, t),
+	}, nil
+}
+
+// Domain returns the domain size.
+func (d *DirectHistogram) Domain() int { return d.domain }
+
+// Eps returns the privacy parameter of each report.
+func (d *DirectHistogram) Eps() float64 { return d.eps }
+
+// T returns the padded (power-of-two) report domain.
+func (d *DirectHistogram) T() int { return d.t }
+
+// Report produces one user's ε-LDP message for value x in [0, Domain).
+func (d *DirectHistogram) Report(x uint64, rng *rand.Rand) (DirectReport, error) {
+	if x >= uint64(d.domain) {
+		return DirectReport{}, fmt.Errorf("freqoracle: value %d outside domain %d", x, d.domain)
+	}
+	y := d.rand.Sample(x, rng)
+	col, bit := d.rand.DecodeReport(y)
+	return DirectReport{Col: uint32(col), Bit: int8(bit)}, nil
+}
+
+// Absorb folds one report into the accumulator.
+func (d *DirectHistogram) Absorb(rep DirectReport) error {
+	if d.finalized {
+		return fmt.Errorf("freqoracle: Absorb after Finalize")
+	}
+	if int(rep.Col) >= d.t {
+		return fmt.Errorf("freqoracle: report column %d out of range", rep.Col)
+	}
+	if rep.Bit != 1 && rep.Bit != -1 {
+		return fmt.Errorf("freqoracle: report bit %d invalid", rep.Bit)
+	}
+	d.acc[rep.Col] += float64(rep.Bit)
+	d.n++
+	return nil
+}
+
+// Finalize reconstructs the full estimated histogram.
+func (d *DirectHistogram) Finalize() {
+	if d.finalized {
+		return
+	}
+	v := append([]float64(nil), d.acc...)
+	hadamard.Transform(v)
+	c := d.rand.CEps()
+	for i := range v {
+		v[i] *= c
+	}
+	d.hist = v
+	d.finalized = true
+}
+
+// Estimate returns the estimated multiplicity of x. Must be called after
+// Finalize.
+func (d *DirectHistogram) Estimate(x uint64) float64 {
+	if !d.finalized {
+		panic("freqoracle: Estimate before Finalize")
+	}
+	if x >= uint64(d.domain) {
+		return 0
+	}
+	return d.hist[x]
+}
+
+// Histogram returns the full estimated histogram over [0, Domain) (a copy).
+func (d *DirectHistogram) Histogram() []float64 {
+	if !d.finalized {
+		panic("freqoracle: Histogram before Finalize")
+	}
+	return append([]float64(nil), d.hist[:d.domain]...)
+}
+
+// TotalReports returns the number of absorbed reports.
+func (d *DirectHistogram) TotalReports() int { return d.n }
+
+// Merge folds another accumulator with identical parameters into this one;
+// neither may be finalized.
+func (d *DirectHistogram) Merge(other *DirectHistogram) error {
+	if d.finalized || other.finalized {
+		return fmt.Errorf("freqoracle: Merge after Finalize")
+	}
+	if d.eps != other.eps || d.domain != other.domain || d.t != other.t {
+		return fmt.Errorf("freqoracle: Merge of differently-parameterized histograms")
+	}
+	for j := range d.acc {
+		d.acc[j] += other.acc[j]
+	}
+	d.n += other.n
+	return nil
+}
+
+// SketchBytes returns the resident server state in bytes.
+func (d *DirectHistogram) SketchBytes() int {
+	b := 8 * d.t
+	if d.finalized {
+		b *= 2
+	}
+	return b
+}
+
+// ErrorBound returns the Theorem 3.8-shaped high-probability bound on a
+// single query's error at failure probability beta: the estimate is a sum of
+// n independent bounded terms (each |CEps·H·bit| <= CEps), so Hoeffding
+// gives CEps·sqrt(2·n·ln(2/β)).
+func (d *DirectHistogram) ErrorBound(n int, beta float64) float64 {
+	if beta <= 0 || beta >= 1 {
+		panic("freqoracle: beta must be in (0,1)")
+	}
+	return d.rand.CEps() * math.Sqrt(2*float64(n)*math.Log(2/beta))
+}

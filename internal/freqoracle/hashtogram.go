@@ -1,0 +1,296 @@
+// Package freqoracle implements the frequency oracles of the paper:
+//
+//   - Hashtogram (Theorem 3.7): the large-domain oracle of Bassily, Nissim,
+//     Stemmer and Thakurta — a count-median sketch of R rows by T = O(√n)
+//     buckets, filled through the Hadamard one-bit randomizer and
+//     reconstructed with one fast Walsh-Hadamard transform per row. Error
+//     O((1/ε)·sqrt(n·log(R'/β))) per query, server memory O~(√n), user time
+//     and communication O~(1).
+//   - DirectHistogram (Theorem 3.8): the small-domain variant that estimates
+//     the whole histogram at once over an explicit domain, used per
+//     coordinate inside PrivateExpanderSketch.
+//
+// Both follow the same client/server shape: the server is created first and
+// publishes PublicParams (the protocol's public randomness); clients are
+// cheap value types that turn an item into a single small report; the server
+// absorbs reports in any order, finalizes, and then answers point queries.
+//
+// The package also provides RAPPOR-, OLH- and KRR-based oracles over
+// explicit candidate sets as industrial baselines (see baselines.go).
+package freqoracle
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"ldphh/internal/dist"
+	"ldphh/internal/hadamard"
+	"ldphh/internal/hashing"
+	"ldphh/internal/ldp"
+)
+
+// HashtogramParams configures the large-domain oracle.
+type HashtogramParams struct {
+	Eps  float64 // privacy parameter of each user's single report
+	N    int     // expected number of users (sizing hint)
+	Rows int     // sketch depth R; 0 derives O(log n) from N
+	T    int     // sketch width (power of two); 0 derives O(√n) from N
+	Seed uint64  // public-randomness seed
+}
+
+func (p *HashtogramParams) setDefaults() error {
+	if p.Eps <= 0 {
+		return fmt.Errorf("freqoracle: Eps must be positive, got %v", p.Eps)
+	}
+	if p.N <= 0 {
+		return fmt.Errorf("freqoracle: N must be positive, got %d", p.N)
+	}
+	if p.Rows == 0 {
+		p.Rows = int(math.Ceil(2 * math.Log2(float64(p.N)+1)))
+		if p.Rows < 8 {
+			p.Rows = 8
+		}
+	}
+	if p.Rows < 1 {
+		return fmt.Errorf("freqoracle: Rows must be positive, got %d", p.Rows)
+	}
+	if p.T == 0 {
+		p.T = hadamard.NextPow2(int(math.Ceil(math.Sqrt(float64(p.N)))))
+		if p.T < 16 {
+			p.T = 16
+		}
+	}
+	if p.T < 2 || p.T&(p.T-1) != 0 {
+		return fmt.Errorf("freqoracle: T must be a power of two >= 2, got %d", p.T)
+	}
+	return nil
+}
+
+// HashtogramReport is one user's message: the sketch row the user belongs
+// to, the Hadamard column it sampled, and the randomized ±1 bit.
+type HashtogramReport struct {
+	Row int
+	Col uint32
+	Bit int8
+}
+
+// Hashtogram is the server side of the Theorem 3.7 oracle.
+type Hashtogram struct {
+	p         HashtogramParams
+	rowHash   hashing.KWise // user index -> row (the public partition)
+	hs        []hashing.KWise
+	signs     []hashing.Sign
+	fold      hashing.Fingerprinter
+	rand      ldp.HadamardBit
+	acc       [][]float64 // [row][col] running sums of ±1 reports
+	rowCounts []int
+	est       [][]float64 // [row][bucket] finalized estimates
+	finalized bool
+}
+
+// NewHashtogram constructs the server and draws the public randomness from
+// params.Seed.
+func NewHashtogram(params HashtogramParams) (*Hashtogram, error) {
+	if err := params.setDefaults(); err != nil {
+		return nil, err
+	}
+	rng := hashing.Seeded(params.Seed, 0x48617368)
+	h := &Hashtogram{
+		p:         params,
+		rowHash:   hashing.NewKWise(2, rng),
+		hs:        make([]hashing.KWise, params.Rows),
+		signs:     make([]hashing.Sign, params.Rows),
+		fold:      hashing.NewFingerprinter(rng),
+		rand:      ldp.NewHadamardBit(params.Eps, params.T),
+		acc:       make([][]float64, params.Rows),
+		rowCounts: make([]int, params.Rows),
+	}
+	for r := 0; r < params.Rows; r++ {
+		h.hs[r] = hashing.NewKWise(2, rng)
+		h.signs[r] = hashing.NewSign(rng)
+		h.acc[r] = make([]float64, params.T)
+	}
+	return h, nil
+}
+
+// Params returns the defaulted parameters (the public randomness is fully
+// determined by Params().Seed).
+func (h *Hashtogram) Params() HashtogramParams { return h.p }
+
+// Row returns the sketch row user userIdx reports into (public).
+func (h *Hashtogram) Row(userIdx int) int {
+	return h.rowHash.Range(uint64(userIdx), h.p.Rows)
+}
+
+// Report produces user userIdx's ε-LDP message for item x. It is the
+// client-side computation: O(1) hash evaluations and one randomized bit.
+func (h *Hashtogram) Report(x []byte, userIdx int, rng *rand.Rand) HashtogramReport {
+	row := h.Row(userIdx)
+	key := h.fold.Fold(x)
+	bucket := uint64(h.hs[row].Range(key, h.p.T))
+	sign := h.signs[row].Eval(key)
+	// Encode sign by flipping the encoded basis vector: σ·e_b has Hadamard
+	// coefficients σ·H[j,b]; realize σ on the true bit before randomizing.
+	y := h.rand.Sample(bucket, rng)
+	col, bit := h.rand.DecodeReport(y)
+	bit *= sign
+	return HashtogramReport{Row: row, Col: uint32(col), Bit: int8(bit)}
+}
+
+// Absorb folds one report into the sketch. Not safe for concurrent use;
+// callers that parallelize should shard reports by row and merge.
+func (h *Hashtogram) Absorb(rep HashtogramReport) error {
+	if h.finalized {
+		return fmt.Errorf("freqoracle: Absorb after Finalize")
+	}
+	if rep.Row < 0 || rep.Row >= h.p.Rows {
+		return fmt.Errorf("freqoracle: report row %d out of range", rep.Row)
+	}
+	if int(rep.Col) >= h.p.T {
+		return fmt.Errorf("freqoracle: report column %d out of range", rep.Col)
+	}
+	if rep.Bit != 1 && rep.Bit != -1 {
+		return fmt.Errorf("freqoracle: report bit %d invalid", rep.Bit)
+	}
+	h.acc[rep.Row][rep.Col] += float64(rep.Bit)
+	h.rowCounts[rep.Row]++
+	return nil
+}
+
+// Finalize reconstructs per-row bucket histograms (one FWHT per row, run in
+// parallel) and freezes the sketch.
+func (h *Hashtogram) Finalize() {
+	if h.finalized {
+		return
+	}
+	h.est = make([][]float64, h.p.Rows)
+	var wg sync.WaitGroup
+	for r := 0; r < h.p.Rows; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := append([]float64(nil), h.acc[r]...)
+			hadamard.Transform(v)
+			c := h.rand.CEps()
+			for j := range v {
+				v[j] *= c
+			}
+			h.est[r] = v
+		}(r)
+	}
+	wg.Wait()
+	h.finalized = true
+}
+
+// TotalReports returns the number of absorbed reports.
+func (h *Hashtogram) TotalReports() int {
+	n := 0
+	for _, c := range h.rowCounts {
+		n += c
+	}
+	return n
+}
+
+// Merge folds another aggregator's accumulated state into this one. Both
+// must be built from identical parameters (same Seed, so same public
+// randomness) and neither may be finalized. This is what lets intermediate
+// aggregators pre-combine report batches before shipping them upstream.
+func (h *Hashtogram) Merge(other *Hashtogram) error {
+	if h.finalized || other.finalized {
+		return fmt.Errorf("freqoracle: Merge after Finalize")
+	}
+	if h.p != other.p {
+		return fmt.Errorf("freqoracle: Merge of differently-parameterized sketches")
+	}
+	for r := range h.acc {
+		for j := range h.acc[r] {
+			h.acc[r][j] += other.acc[r][j]
+		}
+		h.rowCounts[r] += other.rowCounts[r]
+	}
+	return nil
+}
+
+// Estimate returns the estimated multiplicity of x among the absorbed
+// reports: the median over rows of the rescaled signed bucket estimates.
+// Must be called after Finalize.
+func (h *Hashtogram) Estimate(x []byte) float64 {
+	if !h.finalized {
+		panic("freqoracle: Estimate before Finalize")
+	}
+	n := h.TotalReports()
+	if n == 0 {
+		return 0
+	}
+	key := h.fold.Fold(x)
+	vals := make([]float64, 0, h.p.Rows)
+	for r := 0; r < h.p.Rows; r++ {
+		if h.rowCounts[r] == 0 {
+			continue
+		}
+		bucket := h.hs[r].Range(key, h.p.T)
+		sign := float64(h.signs[r].Eval(key))
+		scale := float64(n) / float64(h.rowCounts[r])
+		vals = append(vals, scale*sign*h.est[r][bucket])
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return dist.Median(vals)
+}
+
+// EstimateWithSpread returns the median estimate together with the
+// interquartile range of the per-row estimates, a data-driven uncertainty
+// indicator (wide spread flags heavy hash collisions or low row occupancy).
+func (h *Hashtogram) EstimateWithSpread(x []byte) (est, iqr float64) {
+	if !h.finalized {
+		panic("freqoracle: EstimateWithSpread before Finalize")
+	}
+	n := h.TotalReports()
+	if n == 0 {
+		return 0, 0
+	}
+	key := h.fold.Fold(x)
+	vals := make([]float64, 0, h.p.Rows)
+	for r := 0; r < h.p.Rows; r++ {
+		if h.rowCounts[r] == 0 {
+			continue
+		}
+		bucket := h.hs[r].Range(key, h.p.T)
+		sign := float64(h.signs[r].Eval(key))
+		scale := float64(n) / float64(h.rowCounts[r])
+		vals = append(vals, scale*sign*h.est[r][bucket])
+	}
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	return dist.Median(vals), dist.Quantile(vals, 0.75) - dist.Quantile(vals, 0.25)
+}
+
+// SketchBytes returns the resident size of the server state in bytes
+// (the Table 1 "server memory" metric).
+func (h *Hashtogram) SketchBytes() int {
+	per := 8 * h.p.T * h.p.Rows // acc
+	if h.finalized {
+		per *= 2 // est
+	}
+	return per + 8*h.p.Rows
+}
+
+// ErrorBound returns a calibrated envelope on the error of a single query at
+// failure probability beta. Shape per Theorem 3.7: a per-row standard
+// deviation of CEps·sqrt(n·R) from the privacy noise, with the median over R
+// rows driving the failure probability down as exp(-Ω(R)), so the
+// β-dependence enters as an additive ln(1/β) under the square root:
+//
+//	bound(β) = 2·CEps·sqrt(n·(R + ln(1/β)))
+func (h *Hashtogram) ErrorBound(beta float64) float64 {
+	if beta <= 0 || beta >= 1 {
+		panic("freqoracle: beta must be in (0,1)")
+	}
+	n := float64(h.p.N)
+	r := float64(h.p.Rows)
+	return 2 * h.rand.CEps() * math.Sqrt(n*(r+math.Log(1/beta)))
+}

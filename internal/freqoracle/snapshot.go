@@ -1,0 +1,70 @@
+package freqoracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshot serializes the Hashtogram's accumulated (non-finalized) state so
+// an aggregation server can checkpoint mid-collection and resume after a
+// restart. The public randomness is NOT serialized — it is reproducible
+// from Params().Seed — so a snapshot is only loadable into a sketch built
+// from identical parameters. Format (big endian):
+//
+//	magic "LHSK" | version u8 | rows u32 | t u32 | rowCounts []u64 | acc []f64
+func (h *Hashtogram) Snapshot() ([]byte, error) {
+	if h.finalized {
+		return nil, fmt.Errorf("freqoracle: Snapshot after Finalize")
+	}
+	size := 4 + 1 + 4 + 4 + 8*h.p.Rows + 8*h.p.Rows*h.p.T
+	buf := make([]byte, 0, size)
+	buf = append(buf, 'L', 'H', 'S', 'K', 1)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.p.Rows))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.p.T))
+	for _, c := range h.rowCounts {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
+	}
+	for r := 0; r < h.p.Rows; r++ {
+		for _, v := range h.acc[r] {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// Restore loads a snapshot produced by a sketch with identical parameters,
+// replacing this sketch's accumulated state.
+func (h *Hashtogram) Restore(buf []byte) error {
+	if h.finalized {
+		return fmt.Errorf("freqoracle: Restore after Finalize")
+	}
+	want := 4 + 1 + 4 + 4 + 8*h.p.Rows + 8*h.p.Rows*h.p.T
+	if len(buf) != want {
+		return fmt.Errorf("freqoracle: snapshot length %d, want %d", len(buf), want)
+	}
+	if string(buf[:4]) != "LHSK" {
+		return fmt.Errorf("freqoracle: bad snapshot magic")
+	}
+	if buf[4] != 1 {
+		return fmt.Errorf("freqoracle: unsupported snapshot version %d", buf[4])
+	}
+	rows := int(binary.BigEndian.Uint32(buf[5:]))
+	t := int(binary.BigEndian.Uint32(buf[9:]))
+	if rows != h.p.Rows || t != h.p.T {
+		return fmt.Errorf("freqoracle: snapshot shape (%d,%d) does not match sketch (%d,%d)",
+			rows, t, h.p.Rows, h.p.T)
+	}
+	off := 13
+	for r := 0; r < rows; r++ {
+		h.rowCounts[r] = int(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < t; j++ {
+			h.acc[r][j] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return nil
+}

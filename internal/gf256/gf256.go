@@ -1,0 +1,161 @@
+// Package gf256 implements arithmetic in GF(2^8) with the AES-adjacent
+// reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), via exp/log
+// tables generated at init. It is the symbol field of the Reed-Solomon code
+// in internal/ecc, which plays the role of the constant-rate
+// error-correcting code in the paper's list-recoverable construction
+// (DESIGN.md substitution S1).
+package gf256
+
+// Poly is the reduction polynomial (without the x^8 term) used to generate
+// the field: x^8 + x^4 + x^3 + x^2 + 1.
+const Poly = 0x1d
+
+var (
+	expTable [512]byte // doubled so Mul can skip a mod 255
+	logTable [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		// multiply x by the generator 0x02
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a+b (= a-b) in GF(256).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(256).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(256). b must be nonzero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. a must be nonzero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns the generator (0x02) raised to the power e mod 255.
+func Exp(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}
+
+// Log returns the discrete log base 0x02 of a. a must be nonzero.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^e in GF(256) (with 0^0 = 1).
+func Pow(a byte, e int) byte {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := (int(logTable[a]) * e) % 255
+	if le < 0 {
+		le += 255
+	}
+	return expTable[le]
+}
+
+// PolyEval evaluates the polynomial p (coefficients in ascending degree
+// order) at x.
+func PolyEval(p []byte, x byte) byte {
+	if len(p) == 0 {
+		return 0
+	}
+	acc := p[len(p)-1]
+	for i := len(p) - 2; i >= 0; i-- {
+		acc = Add(Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// PolyMul returns the product of polynomials a and b.
+func PolyMul(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= Mul(ai, bj)
+		}
+	}
+	return out
+}
+
+// PolyScale returns a copy of p with every coefficient multiplied by c.
+func PolyScale(p []byte, c byte) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[i] = Mul(v, c)
+	}
+	return out
+}
+
+// PolyAdd returns a+b, trimming nothing (length = max of inputs).
+func PolyAdd(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i, v := range b {
+		out[i] ^= v
+	}
+	return out
+}
+
+// PolyDeriv returns the formal derivative of p. In characteristic 2, odd
+// powers survive and even powers vanish.
+func PolyDeriv(p []byte) []byte {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make([]byte, len(p)-1)
+	for i := 1; i < len(p); i += 2 {
+		out[i-1] = p[i]
+	}
+	return out
+}

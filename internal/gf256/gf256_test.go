@@ -1,0 +1,159 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	// exp(log(a)) = a for all nonzero a; exp is 255-periodic.
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("exp(log(%d)) != %d", a, a)
+		}
+	}
+	if Exp(0) != 1 {
+		t.Error("Exp(0) != 1")
+	}
+	if Exp(255) != 1 {
+		t.Error("Exp(255) != 1 (period)")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Error("negative exponent handling broken")
+	}
+}
+
+func TestMulRef(t *testing.T) {
+	// Cross-check table Mul against bitwise Russian-peasant multiplication.
+	ref := func(a, b byte) byte {
+		var p byte
+		for b > 0 {
+			if b&1 == 1 {
+				p ^= a
+			}
+			carry := a&0x80 != 0
+			a <<= 1
+			if carry {
+				a ^= Poly
+			}
+			b >>= 1
+		}
+		return p
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != ref(byte(a), byte(b)) {
+				t.Fatalf("Mul(%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	assoc := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	distrib := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error(err)
+	}
+	comm := func(a, b byte) bool {
+		return Mul(a, b) == Mul(b, a) && Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+		if Div(byte(a), byte(a)) != 1 {
+			t.Fatalf("a/a != 1 for a=%d", a)
+		}
+	}
+	if Div(0, 5) != 0 {
+		t.Error("0/b != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("0^0 != 1")
+	}
+	if Pow(0, 3) != 0 {
+		t.Error("0^3 != 0")
+	}
+	if Pow(5, 1) != 5 {
+		t.Error("a^1 != a")
+	}
+	for a := 1; a < 256; a++ {
+		if Pow(byte(a), 255) != 1 { // Lagrange: order divides 255
+			t.Fatalf("a^255 != 1 for a=%d", a)
+		}
+		want := Mul(Mul(byte(a), byte(a)), byte(a))
+		if Pow(byte(a), 3) != want {
+			t.Fatalf("a^3 mismatch for a=%d", a)
+		}
+	}
+}
+
+func TestPolyOps(t *testing.T) {
+	// (1 + x)(1 + x) = 1 + x^2 in characteristic 2.
+	sq := PolyMul([]byte{1, 1}, []byte{1, 1})
+	if len(sq) != 3 || sq[0] != 1 || sq[1] != 0 || sq[2] != 1 {
+		t.Fatalf("(1+x)^2 = %v", sq)
+	}
+	// Evaluate 1 + x^2 at x=2: 1 ^ Mul(2,2) = 1 ^ 4 = 5.
+	if PolyEval(sq, 2) != 5 {
+		t.Fatalf("eval = %d", PolyEval(sq, 2))
+	}
+	if PolyEval(nil, 9) != 0 {
+		t.Error("eval of empty poly != 0")
+	}
+	s := PolyScale([]byte{1, 2, 3}, 2)
+	if s[0] != 2 || s[1] != 4 || s[2] != 6 {
+		t.Fatalf("scale = %v", s)
+	}
+	a := PolyAdd([]byte{1, 2}, []byte{1, 2, 3})
+	if len(a) != 3 || a[0] != 0 || a[1] != 0 || a[2] != 3 {
+		t.Fatalf("add = %v", a)
+	}
+	// d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in char 2.
+	d := PolyDeriv([]byte{7, 5, 9, 3})
+	if len(d) != 3 || d[0] != 5 || d[1] != 0 || d[2] != 3 {
+		t.Fatalf("deriv = %v", d)
+	}
+	if PolyDeriv([]byte{1}) != nil {
+		t.Error("deriv of constant should be nil")
+	}
+}
+
+func TestPolyEvalRootOfProduct(t *testing.T) {
+	// A product Π (x - α^i) must vanish at every α^i.
+	p := []byte{1}
+	for i := 0; i < 10; i++ {
+		p = PolyMul(p, []byte{Exp(i), 1})
+	}
+	for i := 0; i < 10; i++ {
+		if PolyEval(p, Exp(i)) != 0 {
+			t.Fatalf("product does not vanish at α^%d", i)
+		}
+	}
+	if PolyEval(p, Exp(11)) == 0 {
+		t.Error("product vanishes at a non-root")
+	}
+}

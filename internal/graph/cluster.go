@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// ClusterOptions tunes FindClusters.
+type ClusterOptions struct {
+	// MaxSize is the largest cluster the caller expects (the decoder passes
+	// ~2M for expanders on M vertices). Components at or below this size are
+	// emitted whole; larger components are split spectrally.
+	MaxSize int
+	// MinConductance stops recursion: if the best sweep cut of an oversized
+	// component has conductance above this, the component is emitted as-is
+	// (it really is one well-connected cluster).
+	MinConductance float64
+	// PowerIters bounds the power-iteration count per bisection.
+	PowerIters int
+	// Rand drives the power-iteration initialization. Must be non-nil.
+	Rand *rand.Rand
+}
+
+// FindClusters partitions the graph into candidate clusters: connected
+// components, with components larger than opts.MaxSize recursively split by
+// spectral bisection (sweep cut over an approximate second eigenvector of
+// the normalized adjacency). This is the engineering stand-in for the
+// cluster-preserving clustering of [22] Theorem B.3: in the protocol's
+// operating regime clusters are whp isolated components and the bisection
+// path never runs; when decoding noise merges clusters, bisection recovers
+// low-conductance pieces.
+func (g *Graph) FindClusters(opts ClusterOptions) [][]int {
+	if opts.MaxSize <= 0 {
+		panic("graph: ClusterOptions.MaxSize must be positive")
+	}
+	if opts.Rand == nil {
+		panic("graph: ClusterOptions.Rand must be set")
+	}
+	if opts.PowerIters <= 0 {
+		opts.PowerIters = 100
+	}
+	if opts.MinConductance <= 0 {
+		opts.MinConductance = 0.35
+	}
+	var out [][]int
+	for _, comp := range g.Components(nil) {
+		g.splitRecursive(comp, opts, 0, &out)
+	}
+	return out
+}
+
+const maxSplitDepth = 30
+
+func (g *Graph) splitRecursive(comp []int, opts ClusterOptions, depth int, out *[][]int) {
+	if len(comp) <= opts.MaxSize || depth >= maxSplitDepth {
+		*out = append(*out, comp)
+		return
+	}
+	a, b, cond := g.spectralBisect(comp, opts)
+	if a == nil || cond > opts.MinConductance {
+		*out = append(*out, comp)
+		return
+	}
+	// The cut may disconnect each side further; re-run components restricted
+	// to each half before recursing, so clusters separated by the cut are
+	// not glued by the recursion bookkeeping.
+	for _, half := range [][]int{a, b} {
+		alive := make([]bool, g.N())
+		for _, u := range half {
+			alive[u] = true
+		}
+		for _, sub := range g.Components(alive) {
+			g.splitRecursive(sub, opts, depth+1, out)
+		}
+	}
+}
+
+// spectralBisect computes a sweep cut over an approximate eigenvector of the
+// normalized adjacency D^{-1/2} A D^{-1/2} restricted to comp, orthogonal to
+// the top eigenvector d^{1/2}. Returns the two sides and the cut's
+// conductance, or (nil, nil, 1) if no useful cut exists.
+func (g *Graph) spectralBisect(comp []int, opts ClusterOptions) ([]int, []int, float64) {
+	n := len(comp)
+	if n < 2 {
+		return nil, nil, 1
+	}
+	idx := make(map[int]int, n) // vertex -> local index
+	for i, u := range comp {
+		idx[u] = i
+	}
+	deg := make([]float64, n)
+	for i, u := range comp {
+		d := 0
+		for _, v := range g.adj[u] {
+			if _, ok := idx[v]; ok {
+				d++
+			}
+		}
+		if d == 0 {
+			d = 1 // isolated inside comp; keep matrix well-defined
+		}
+		deg[i] = float64(d)
+	}
+	sqrtDeg := make([]float64, n)
+	for i := range deg {
+		sqrtDeg[i] = math.Sqrt(deg[i])
+	}
+
+	// Power iteration on M = (I + D^{-1/2} A D^{-1/2}) / 2 (PSD shift), with
+	// deflation against the known top eigenvector d^{1/2}.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = opts.Rand.Float64()*2 - 1
+	}
+	tmp := make([]float64, n)
+	orthogonalize := func(x []float64) {
+		dot, norm := 0.0, 0.0
+		for i := range x {
+			dot += x[i] * sqrtDeg[i]
+			norm += sqrtDeg[i] * sqrtDeg[i]
+		}
+		c := dot / norm
+		for i := range x {
+			x[i] -= c * sqrtDeg[i]
+		}
+	}
+	normalize := func(x []float64) float64 {
+		s := 0.0
+		for _, xi := range x {
+			s += xi * xi
+		}
+		s = math.Sqrt(s)
+		if s > 0 {
+			for i := range x {
+				x[i] /= s
+			}
+		}
+		return s
+	}
+	orthogonalize(v)
+	if normalize(v) == 0 {
+		return nil, nil, 1
+	}
+	for it := 0; it < opts.PowerIters; it++ {
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		for i, u := range comp {
+			xi := v[i] / sqrtDeg[i]
+			for _, w := range g.adj[u] {
+				if j, ok := idx[w]; ok {
+					tmp[j] += xi / sqrtDeg[j]
+				}
+			}
+		}
+		for i := range tmp {
+			v[i] = (v[i] + tmp[i]) / 2
+		}
+		orthogonalize(v)
+		if normalize(v) == 0 {
+			return nil, nil, 1
+		}
+	}
+
+	// Sweep cut on the embedding x_i = v_i / sqrtDeg_i.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return v[order[a]]/sqrtDeg[order[a]] < v[order[b]]/sqrtDeg[order[b]]
+	})
+
+	inS := make([]bool, n)
+	volS, volAll := 0.0, 0.0
+	for i := range deg {
+		volAll += deg[i]
+	}
+	cut := 0.0
+	bestCond, bestK := math.Inf(1), -1
+	for k := 0; k < n-1; k++ {
+		i := order[k]
+		u := comp[i]
+		inS[i] = true
+		volS += deg[i]
+		for _, w := range g.adj[u] {
+			if j, ok := idx[w]; ok {
+				if inS[j] {
+					cut--
+				} else {
+					cut++
+				}
+			}
+		}
+		minVol := math.Min(volS, volAll-volS)
+		if minVol <= 0 {
+			continue
+		}
+		cond := cut / minVol
+		if cond < bestCond {
+			bestCond, bestK = cond, k
+		}
+	}
+	if bestK < 0 {
+		return nil, nil, 1
+	}
+	var a, b []int
+	for k, i := range order {
+		if k <= bestK {
+			a = append(a, comp[i])
+		} else {
+			b = append(b, comp[i])
+		}
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b, bestCond
+}
+
+// PruneLowDegree returns the subset of vs whose degree *within vs* exceeds
+// minDegree, removing offenders in at most rounds passes (rounds <= 0 means
+// iterate until stable). The list-recovery decoder uses a single pass with
+// minDegree = d/2, exactly as in Appendix B — iterating can cascade and
+// amputate genuine low-degree fringes of a damaged cluster.
+func (g *Graph) PruneLowDegree(vs []int, minDegree, rounds int) []int {
+	in := make(map[int]bool, len(vs))
+	for _, u := range vs {
+		in[u] = true
+	}
+	for r := 0; rounds <= 0 || r < rounds; r++ {
+		var victims []int
+		for _, u := range vs {
+			if !in[u] {
+				continue
+			}
+			d := 0
+			for _, v := range g.adj[u] {
+				if in[v] {
+					d++
+				}
+			}
+			if d <= minDegree {
+				victims = append(victims, u)
+			}
+		}
+		if len(victims) == 0 {
+			break
+		}
+		for _, u := range victims {
+			in[u] = false
+		}
+	}
+	var out []int
+	for _, u := range vs {
+		if in[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package graph provides the undirected-graph machinery for the decoder of
+// the unique-list-recoverable code: adjacency structures, connected
+// components, conductance, and the spectral cluster finder standing in for
+// Theorem B.3 of the paper (DESIGN.md substitution S2).
+package graph
+
+import "sort"
+
+// Graph is an undirected multigraph on vertices 0..N-1 stored as adjacency
+// lists. Parallel edges are permitted (the expander construction may create
+// them); self-loops are not.
+type Graph struct {
+	adj [][]int
+}
+
+// New creates an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts an undirected edge {u, v}. Self-loops are rejected.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// Degree returns the degree of u (counting parallel edges).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors returns u's adjacency list (shared storage; do not mutate).
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Components returns the connected components restricted to the vertex set
+// `alive` (nil means all vertices), each sorted ascending.
+func (g *Graph) Components(alive []bool) [][]int {
+	n := g.N()
+	visited := make([]bool, n)
+	var comps [][]int
+	stack := make([]int, 0, 64)
+	for s := 0; s < n; s++ {
+		if visited[s] || (alive != nil && !alive[s]) {
+			continue
+		}
+		var comp []int
+		stack = append(stack[:0], s)
+		visited[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !visited[v] && (alive == nil || alive[v]) {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Volume returns the sum of degrees over the vertex set.
+func (g *Graph) Volume(vs []int) int {
+	v := 0
+	for _, u := range vs {
+		v += len(g.adj[u])
+	}
+	return v
+}
+
+// CutSize returns the number of edges with exactly one endpoint in set
+// (given as a membership mask over all vertices).
+func (g *Graph) CutSize(inSet []bool) int {
+	cut := 0
+	for u := range g.adj {
+		if !inSet[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if !inSet[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Conductance returns cut(S, V\S) / min(vol(S), vol(V\S)) for the subset S
+// of the sub-vertex-set vs. Returns 1 when either side has zero volume.
+func (g *Graph) Conductance(vs []int, inS map[int]bool) float64 {
+	volS, volT := 0, 0
+	mask := make([]bool, g.N())
+	sub := make([]bool, g.N())
+	for _, u := range vs {
+		sub[u] = true
+	}
+	for _, u := range vs {
+		if inS[u] {
+			mask[u] = true
+			volS += len(g.adj[u])
+		} else {
+			volT += len(g.adj[u])
+		}
+	}
+	if volS == 0 || volT == 0 {
+		return 1
+	}
+	cut := 0
+	for _, u := range vs {
+		if !inS[u] {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if sub[v] && !mask[v] {
+				cut++
+			}
+		}
+	}
+	minVol := volS
+	if volT < minVol {
+		minVol = volT
+	}
+	return float64(cut) / float64(minVol)
+}

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestBasics(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if g.N() != 5 {
+		t.Errorf("N = %d", g.N())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d", g.Degree(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop accepted")
+		}
+	}()
+	g.AddEdge(2, 2)
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if g.Degree(0) != 2 || g.NumEdges() != 2 {
+		t.Error("parallel edges not counted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	// 5, 6 isolated
+	comps := g.Components(nil)
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}, {6}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("components = %v", comps)
+	}
+	// Restricted: kill vertex 1, splitting the first component.
+	alive := []bool{true, false, true, true, true, true, true}
+	comps = g.Components(alive)
+	want = [][]int{{0}, {2}, {3, 4}, {5}, {6}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("restricted components = %v", comps)
+	}
+}
+
+func TestVolumeCutConductance(t *testing.T) {
+	// Two triangles joined by one edge.
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	g.AddEdge(2, 3)
+	if v := g.Volume([]int{0, 1, 2}); v != 7 {
+		t.Errorf("Volume = %d", v)
+	}
+	mask := []bool{true, true, true, false, false, false}
+	if c := g.CutSize(mask); c != 1 {
+		t.Errorf("CutSize = %d", c)
+	}
+	all := []int{0, 1, 2, 3, 4, 5}
+	inS := map[int]bool{0: true, 1: true, 2: true}
+	cond := g.Conductance(all, inS)
+	if cond != 1.0/7.0 {
+		t.Errorf("Conductance = %f, want %f", cond, 1.0/7.0)
+	}
+	// Degenerate side.
+	if c := g.Conductance(all, map[int]bool{}); c != 1 {
+		t.Errorf("empty-side conductance = %f", c)
+	}
+}
+
+func TestPruneLowDegree(t *testing.T) {
+	// A 4-clique with a pendant path hanging off it.
+	g := New(7)
+	clique := []int{0, 1, 2, 3}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(clique[i], clique[j])
+		}
+	}
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	got := g.PruneLowDegree([]int{0, 1, 2, 3, 4, 5, 6}, 1, 0)
+	// Path vertices have degree <= 1 after iterative removal of the tail.
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PruneLowDegree = %v", got)
+	}
+	// A single pass only removes the current offenders: vertex 6 (degree 1)
+	// and nothing upstream of it yet... vertices 4,5 have degree 2 > 1 on the
+	// first pass, 6 has degree 1.
+	single := g.PruneLowDegree([]int{0, 1, 2, 3, 4, 5, 6}, 1, 1)
+	if !reflect.DeepEqual(single, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("single-pass PruneLowDegree = %v", single)
+	}
+	// Pruning with threshold >= clique degree empties everything.
+	if got := g.PruneLowDegree([]int{0, 1, 2, 3}, 3, 0); len(got) != 0 {
+		t.Fatalf("over-pruning left %v", got)
+	}
+}
+
+func TestFindClustersIsolatedComponents(t *testing.T) {
+	// Three disjoint 5-cliques must come back exactly.
+	g := New(15)
+	for c := 0; c < 3; c++ {
+		base := c * 5
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	clusters := g.FindClusters(ClusterOptions{MaxSize: 8, Rand: rng})
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	for c, cl := range clusters {
+		want := []int{c * 5, c*5 + 1, c*5 + 2, c*5 + 3, c*5 + 4}
+		if !reflect.DeepEqual(cl, want) {
+			t.Fatalf("cluster %d = %v", c, cl)
+		}
+	}
+}
+
+func TestFindClustersSplitsMergedCliques(t *testing.T) {
+	// Two 10-cliques connected by a single bridge edge: one component of
+	// size 20 that must be split into the two cliques.
+	g := New(20)
+	for c := 0; c < 2; c++ {
+		base := c * 10
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				g.AddEdge(base+i, base+j)
+			}
+		}
+	}
+	g.AddEdge(9, 10)
+	rng := rand.New(rand.NewPCG(2, 2))
+	clusters := g.FindClusters(ClusterOptions{MaxSize: 12, Rand: rng})
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters: %v", len(clusters), clusters)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	if clusters[0][0] != 0 || clusters[0][len(clusters[0])-1] != 9 {
+		t.Fatalf("first cluster = %v", clusters[0])
+	}
+	if clusters[1][0] != 10 || clusters[1][len(clusters[1])-1] != 19 {
+		t.Fatalf("second cluster = %v", clusters[1])
+	}
+}
+
+func TestFindClustersKeepsWellConnectedOversized(t *testing.T) {
+	// A single 16-clique with MaxSize 10: every cut has high conductance, so
+	// it must be emitted whole rather than shredded.
+	g := New(16)
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	clusters := g.FindClusters(ClusterOptions{MaxSize: 10, Rand: rng, MinConductance: 0.3})
+	if len(clusters) != 1 || len(clusters[0]) != 16 {
+		t.Fatalf("clique was shredded: %v", clusters)
+	}
+}
+
+func TestFindClustersValidation(t *testing.T) {
+	g := New(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MaxSize 0 accepted")
+			}
+		}()
+		g.FindClusters(ClusterOptions{MaxSize: 0, Rand: rand.New(rand.NewPCG(1, 1))})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil Rand accepted")
+			}
+		}()
+		g.FindClusters(ClusterOptions{MaxSize: 5})
+	}()
+}
+
+func TestFindClustersEmptyGraph(t *testing.T) {
+	g := New(0)
+	rng := rand.New(rand.NewPCG(4, 4))
+	if clusters := g.FindClusters(ClusterOptions{MaxSize: 5, Rand: rng}); len(clusters) != 0 {
+		t.Fatalf("clusters of empty graph: %v", clusters)
+	}
+}

@@ -1,0 +1,240 @@
+package grouposition
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ldphh/internal/dist"
+	"ldphh/internal/ldp"
+)
+
+func TestBoundFormulas(t *testing.T) {
+	// Theorem 4.2 at eps=0.1, k=100, delta=1e-6:
+	// ε' = 100·0.01/2 + 0.1·sqrt(200·ln(1e6)) = 0.5 + 0.1·sqrt(2763.1...).
+	got := AdvancedGroupEpsilon(0.1, 100, 1e-6)
+	want := 0.5 + 0.1*math.Sqrt(200*math.Log(1e6))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AdvancedGroupEpsilon = %f, want %f", got, want)
+	}
+	if CentralGroupEpsilon(0.1, 100) != 10 {
+		t.Error("CentralGroupEpsilon wrong")
+	}
+	// For large k and small eps, advanced ≪ central (the point of §4).
+	if AdvancedGroupEpsilon(0.1, 10000, 1e-9) >= CentralGroupEpsilon(0.1, 10000) {
+		t.Error("advanced grouposition not beating central at k=10000")
+	}
+	// For k=1 it is worse (the price of the δ slack) — sanity that the
+	// crossover exists.
+	if AdvancedGroupEpsilon(0.1, 1, 1e-9) <= CentralGroupEpsilon(0.1, 1) {
+		t.Error("unexpected free lunch at k=1")
+	}
+}
+
+func TestApproxGroup(t *testing.T) {
+	epsPrime, deltaOut := ApproxGroup(0.2, 1e-8, 50, 1e-6)
+	if epsPrime != AdvancedGroupEpsilon(0.2, 50, 1e-6) {
+		t.Error("ApproxGroup eps mismatch")
+	}
+	if math.Abs(deltaOut-(1e-8+50e-6)) > 1e-15 {
+		t.Errorf("ApproxGroup delta = %g", deltaOut)
+	}
+}
+
+func TestMaxInformationMatchesTheorem45(t *testing.T) {
+	if MaxInformation(0.1, 1000, 0.01) != AdvancedGroupEpsilon(0.1, 1000, 0.01) {
+		t.Error("Theorem 4.5 is advanced grouposition at k=n")
+	}
+	if CentralMaxInformation(0.1, 1000) != 100 {
+		t.Error("central max-information wrong")
+	}
+}
+
+func TestExpectedLossBoundedByHalfEpsSquared(t *testing.T) {
+	// [5] Proposition 3.3: KL(R(x)||R(x')) <= ε²/2 for ε-DP randomizers —
+	// the engine of Theorem 4.2. Verify exactly for RR across epsilons.
+	for _, eps := range []float64{0.05, 0.1, 0.5, 1.0} {
+		r := ldp.NewBinaryRR(eps)
+		kl := ExpectedLoss(r, 0, 1)
+		if kl > eps*eps/2+1e-12 {
+			t.Errorf("eps=%.2f: KL=%g exceeds eps²/2=%g", eps, kl, eps*eps/2)
+		}
+		if kl <= 0 {
+			t.Errorf("eps=%.2f: KL=%g not positive", eps, kl)
+		}
+	}
+}
+
+// TestTheorem42Empirically is experiment E8's core assertion: the measured
+// privacy-loss tail respects Pr[loss > ε'] <= δ, and the √k scaling beats
+// the central model's kε for large k.
+func TestTheorem42Empirically(t *testing.T) {
+	const eps = 0.2
+	const delta = 0.05
+	const trials = 20000
+	rng := rand.New(rand.NewPCG(1, 2))
+	r := ldp.NewBinaryRR(eps)
+	for _, k := range []int{10, 50, 200} {
+		losses := SimulateWorstCaseLoss(r, k, trials, rng)
+		bound := AdvancedGroupEpsilon(eps, k, delta)
+		exceed := 0
+		for _, l := range losses {
+			if l > bound {
+				exceed++
+			}
+		}
+		measured := float64(exceed) / trials
+		// Allow Monte-Carlo slack: 3 standard errors above delta.
+		slack := 3 * math.Sqrt(delta*(1-delta)/trials)
+		if measured > delta+slack {
+			t.Errorf("k=%d: Pr[loss > ε'] = %.4f exceeds δ=%.2f", k, measured, delta)
+		}
+		// The loss should concentrate near kε²/2, far below kε for these k.
+		mean := dist.Mean(losses)
+		if math.Abs(mean-float64(k)*eps*eps/2) > float64(k)*eps*eps/2*0.5+0.1 {
+			t.Errorf("k=%d: mean loss %.3f far from kε²/2 = %.3f", k, mean, float64(k)*eps*eps/2)
+		}
+		if bound >= CentralGroupEpsilon(eps, k) && k >= 200 {
+			t.Errorf("k=%d: advanced bound %f not beating central %f", k, bound, CentralGroupEpsilon(eps, k))
+		}
+	}
+}
+
+func TestExperimentRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	rows, err := Experiment(0.1, []int{4, 16, 64}, 0.05, 4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.MeasuredQuant > row.AdvancedBound {
+			t.Errorf("k=%d: measured quantile %.3f exceeds bound %.3f",
+				row.K, row.MeasuredQuant, row.AdvancedBound)
+		}
+	}
+	// Quantiles must grow with k.
+	if !(rows[0].MeasuredQuant < rows[2].MeasuredQuant) {
+		t.Error("loss quantile not increasing in k")
+	}
+	if _, err := Experiment(0, []int{2}, 0.1, 10, rng); err == nil {
+		t.Error("eps 0 accepted")
+	}
+}
+
+// TestLossConcentrationBeyondRR probes the paper's Section 5 remark that
+// advanced composition behaviour under pure LDP "might hold for more
+// general mechanisms": the privacy loss of k composed Hadamard-bit
+// randomizers (the Hashtogram mechanism) concentrates near k·KL, far below
+// the worst case k·ε, exactly like randomized response.
+func TestLossConcentrationBeyondRR(t *testing.T) {
+	const eps = 0.25
+	const k = 400
+	const trials = 20000
+	r := ldp.NewHadamardBit(eps, 16)
+	// Worst-case input pair for one coordinate: two bucket values whose
+	// Hadamard rows differ in half the columns (any distinct pair does).
+	xs := make([]uint64, k)
+	xps := make([]uint64, k)
+	for i := range xps {
+		xps[i] = 1
+	}
+	rng := rand.New(rand.NewPCG(77, 78))
+	losses := SimulateWorstCaseLoss(r, k, trials, rng)
+	_ = xs
+	bound := AdvancedGroupEpsilon(eps, k, 0.05)
+	exceed := 0
+	for _, l := range losses {
+		if l > bound {
+			exceed++
+		}
+	}
+	if measured := float64(exceed) / trials; measured > 0.05+3*math.Sqrt(0.05/trials) {
+		t.Errorf("HadamardBit composition: Pr[loss > ε'] = %.4f exceeds 0.05", measured)
+	}
+	mean := dist.Mean(losses)
+	klPer := ExpectedLoss(r, 0, 1)
+	if math.Abs(mean-float64(k)*klPer) > float64(k)*klPer*0.2+0.2 {
+		t.Errorf("mean loss %.3f far from k·KL = %.3f", mean, float64(k)*klPer)
+	}
+	if bound >= CentralGroupEpsilon(eps, k) {
+		t.Error("advanced bound should beat kε at k=400")
+	}
+}
+
+// TestTheorem43ApproximateGroupPrivacy verifies the (ε,δ) extension: for a
+// genuinely approximate randomizer (LeakyRR), the k-coordinate privacy loss
+// exceeds ε' = AdvancedGroupEpsilon(eps, k, δ') with probability at most
+// ~ k·δ + k·δ' (leaks are the infinite-loss events; Theorem 4.3's additive
+// δ-term budget).
+func TestTheorem43ApproximateGroupPrivacy(t *testing.T) {
+	const eps = 0.2
+	const delta = 0.001
+	const deltaPrime = 0.01
+	const trials = 30000
+	r := ldp.NewLeakyRR(eps, delta)
+	rng := rand.New(rand.NewPCG(43, 43))
+	for _, k := range []int{5, 20, 80} {
+		epsPrime, deltaOut := ApproxGroup(eps, 0, k, deltaPrime)
+		// Protocol-level delta budget: each of the k coordinates leaks
+		// independently with probability delta.
+		budget := float64(k)*delta + deltaOut
+		losses := SimulateWorstCaseLoss(r, k, trials, rng)
+		exceed, leaks := 0, 0
+		for _, l := range losses {
+			if l > epsPrime {
+				exceed++
+			}
+			if math.IsInf(l, 1) {
+				leaks++
+			}
+		}
+		measured := float64(exceed) / trials
+		slack := 3 * math.Sqrt(budget/trials)
+		if measured > budget+slack {
+			t.Errorf("k=%d: Pr[loss > ε'] = %.4f exceeds budget %.4f", k, measured, budget)
+		}
+		// Leaks must actually occur at roughly rate 1-(1-δ)^k, proving the
+		// test subject is genuinely approximate.
+		wantLeaks := float64(trials) * (1 - math.Pow(1-delta, float64(k)))
+		if k >= 20 && (float64(leaks) < wantLeaks/2 || float64(leaks) > wantLeaks*2) {
+			t.Errorf("k=%d: %d infinite-loss events, want ~%.0f", k, leaks, wantLeaks)
+		}
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []func(){
+		func() { AdvancedGroupEpsilon(0.1, -1, 0.01) },
+		func() { AdvancedGroupEpsilon(0.1, 5, 0) },
+		func() { AdvancedGroupEpsilon(0.1, 5, 1) },
+		func() { SimulateWorstCaseLoss(ldp.NewBinaryRR(1), 0, 10, rand.New(rand.NewPCG(1, 1))) },
+		func() { LossSample(ldp.NewBinaryRR(1), []uint64{0}, []uint64{0, 1}, rand.New(rand.NewPCG(1, 1))) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkLossSampleK1000(b *testing.B) {
+	r := ldp.NewBinaryRR(0.1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]uint64, 1000)
+	xps := make([]uint64, 1000)
+	for i := range xps {
+		xps[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LossSample(r, xs, xps, rng)
+	}
+}

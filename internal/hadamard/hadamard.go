@@ -1,0 +1,43 @@
+// Package hadamard provides the Walsh-Hadamard machinery behind the one-bit
+// local randomizer of the Hashtogram frequency oracle: single entries of the
+// (±1) Hadamard matrix in O(1), and the in-place fast transform in
+// O(T log T), which is what lets the server reconstruct a length-T histogram
+// from one-bit user reports in time independent of the domain size.
+package hadamard
+
+import "math/bits"
+
+// Entry returns H[row, col] of the 2^k x 2^k Hadamard matrix (entries ±1):
+// (-1)^{<row, col>} where <.,.> is the GF(2) inner product of the index bits.
+func Entry(row, col uint64) int {
+	if bits.OnesCount64(row&col)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Transform applies the (unnormalized) Walsh-Hadamard transform to v in
+// place. len(v) must be a power of two. Applying it twice multiplies v by
+// len(v).
+func Transform(v []float64) {
+	n := len(v)
+	if n == 0 || n&(n-1) != 0 {
+		panic("hadamard: length must be a positive power of two")
+	}
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := v[j], v[j+h]
+				v[j], v[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

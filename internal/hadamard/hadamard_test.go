@@ -1,0 +1,145 @@
+package hadamard
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryMatchesRecursiveDefinition(t *testing.T) {
+	// H_{2n} = [[H_n, H_n], [H_n, -H_n]] starting from H_1 = [1].
+	const k = 5
+	n := 1 << k
+	H := make([][]int, n)
+	for i := range H {
+		H[i] = make([]int, n)
+	}
+	H[0][0] = 1
+	for size := 1; size < n; size <<= 1 {
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				v := H[i][j]
+				H[i][j+size] = v
+				H[i+size][j] = v
+				H[i+size][j+size] = -v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if Entry(uint64(i), uint64(j)) != H[i][j] {
+				t.Fatalf("Entry(%d,%d) = %d, want %d", i, j, Entry(uint64(i), uint64(j)), H[i][j])
+			}
+		}
+	}
+}
+
+func TestTransformMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{1, 2, 4, 8, 64} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*2 - 1
+		}
+		want := make([]float64, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want[r] += float64(Entry(uint64(r), uint64(c))) * v[c]
+			}
+		}
+		got := append([]float64(nil), v...)
+		Transform(got)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: FWHT[%d] = %f, want %f", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformInvolution(t *testing.T) {
+	// Applying the transform twice scales by n. The error tolerance must be
+	// relative to the largest magnitude in the vector: the transform sums
+	// entries, so a tiny entry next to a huge one legitimately loses its
+	// low-order bits (quick generates full-range float64s).
+	involution := func(raw [8]float64) bool {
+		v := append([]float64(nil), raw[:]...)
+		orig := append([]float64(nil), raw[:]...)
+		maxAbs := 0.0
+		for _, x := range orig {
+			if !(math.Abs(x) < math.MaxFloat64/64) { // also rejects NaN/Inf
+				return true // outside the transform's sane numeric range
+			}
+			if math.Abs(x) > maxAbs {
+				maxAbs = math.Abs(x)
+			}
+		}
+		Transform(v)
+		Transform(v)
+		for i := range v {
+			if math.Abs(v[i]-8*orig[i]) > 1e-9*(1+8*maxAbs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(involution, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Transform(len=%d) did not panic", n)
+				}
+			}()
+			Transform(make([]float64, n))
+		}()
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+	if NextPow2(0) != 1 || NextPow2(-5) != 1 {
+		t.Error("NextPow2 of non-positive should be 1")
+	}
+}
+
+func TestRowOrthogonality(t *testing.T) {
+	const n = 64
+	for r1 := uint64(0); r1 < n; r1++ {
+		for r2 := uint64(0); r2 < n; r2++ {
+			dot := 0
+			for c := uint64(0); c < n; c++ {
+				dot += Entry(r1, c) * Entry(r2, c)
+			}
+			want := 0
+			if r1 == r2 {
+				want = n
+			}
+			if dot != want {
+				t.Fatalf("rows %d,%d dot = %d, want %d", r1, r2, dot, want)
+			}
+		}
+	}
+}
+
+func BenchmarkTransform1M(b *testing.B) {
+	v := make([]float64, 1<<20)
+	for i := range v {
+		v[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform(v)
+	}
+}

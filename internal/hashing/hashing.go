@@ -1,0 +1,122 @@
+// Package hashing provides the hash families the protocols rely on:
+//
+//   - KWise: k-wise independent functions [0,2^64) -> GF(p), realized as
+//     random degree-(k-1) polynomials over GF(2^61-1). With k = 2 this is the
+//     pairwise independent family used for the per-coordinate hashes
+//     h_1..h_M of PrivateExpanderSketch; the super-bucket hash g uses
+//     k = Θ(log|X|) as required by events E1/E2 of the paper.
+//   - Sign: pairwise independent ±1 hashes for count-sketch rows.
+//   - Fingerprinter: a polynomial byte-string hash over GF(p) that folds
+//     arbitrary-length items into uint64 keys, so protocols can hash raw
+//     user items ([]byte) without assuming a numeric domain.
+//
+// All families are deterministic given their seed, which makes them usable
+// as the protocols' *public randomness*: the server draws the seed once and
+// ships it to every user.
+package hashing
+
+import (
+	"math/rand/v2"
+
+	"ldphh/internal/field"
+)
+
+// KWise is a k-wise independent hash function from uint64 keys to field
+// elements. The zero value is not usable; construct with NewKWise.
+type KWise struct {
+	coeffs []field.Elem
+}
+
+// NewKWise draws a fresh function from the k-wise independent family using
+// rng. k must be >= 1; k = 2 gives the classic pairwise independent family.
+func NewKWise(k int, rng *rand.Rand) KWise {
+	if k < 1 {
+		panic("hashing: k-wise family needs k >= 1")
+	}
+	coeffs := make([]field.Elem, k)
+	for i := range coeffs {
+		coeffs[i] = field.Reduce(rng.Uint64())
+	}
+	// Ensure the leading coefficient is nonzero so the polynomial has true
+	// degree k-1; this keeps the family's standard independence proof intact
+	// and costs only a negligible bias in seed selection.
+	for coeffs[k-1] == 0 {
+		coeffs[k-1] = field.Reduce(rng.Uint64())
+	}
+	return KWise{coeffs: coeffs}
+}
+
+// K reports the independence parameter of the family this function was drawn
+// from.
+func (h KWise) K() int { return len(h.coeffs) }
+
+// Eval returns the hash of key as a field element in [0, 2^61-1).
+func (h KWise) Eval(key uint64) uint64 {
+	return field.EvalPoly(h.coeffs, field.Reduce(key))
+}
+
+// Range returns the hash of key mapped onto [0, m). m must be > 0.
+//
+// The map is Eval(key) mod m; for m << p the distortion from non-divisibility
+// is at most m/p < 2^-40 per bucket, far below every probability the
+// protocols care about.
+func (h KWise) Range(key uint64, m int) int {
+	if m <= 0 {
+		panic("hashing: Range needs m > 0")
+	}
+	return int(h.Eval(key) % uint64(m))
+}
+
+// Sign is a pairwise independent hash from uint64 keys to {-1,+1},
+// used for count-sketch style unbiasing.
+type Sign struct {
+	h KWise
+}
+
+// NewSign draws a fresh ±1 hash using rng.
+func NewSign(rng *rand.Rand) Sign {
+	return Sign{h: NewKWise(2, rng)}
+}
+
+// Eval returns -1 or +1 for key.
+func (s Sign) Eval(key uint64) int {
+	if s.h.Eval(key)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Fingerprinter folds byte strings into uint64 keys via a random polynomial
+// evaluation over GF(2^61-1): fp(b) = sum b_i * r^i + len * r^len. Two
+// distinct strings of length <= L collide with probability <= (L+1)/p.
+type Fingerprinter struct {
+	r field.Elem
+}
+
+// NewFingerprinter draws a fresh fingerprint function using rng.
+func NewFingerprinter(rng *rand.Rand) Fingerprinter {
+	r := field.Reduce(rng.Uint64())
+	for r == 0 {
+		r = field.Reduce(rng.Uint64())
+	}
+	return Fingerprinter{r: r}
+}
+
+// Fold returns the fingerprint of b.
+func (f Fingerprinter) Fold(b []byte) uint64 {
+	acc := field.Elem(0)
+	for _, c := range b {
+		acc = field.Add(field.Mul(acc, f.r), field.Elem(c)+1)
+	}
+	// Mix in the length so "a" and "a\x00" style extensions differ even
+	// under the +1 shift above.
+	acc = field.Add(field.Mul(acc, f.r), field.Reduce(uint64(len(b))))
+	return acc
+}
+
+// Seeded constructs a deterministic PCG generator from two seed words.
+// Protocol constructors use this to derive independent sub-generators for
+// each piece of public randomness from a single user-supplied seed.
+func Seeded(hi, lo uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(hi, lo))
+}

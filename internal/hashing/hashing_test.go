@@ -1,0 +1,182 @@
+package hashing
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestKWiseDeterministic(t *testing.T) {
+	h1 := NewKWise(4, Seeded(1, 2))
+	h2 := NewKWise(4, Seeded(1, 2))
+	for key := uint64(0); key < 1000; key++ {
+		if h1.Eval(key) != h2.Eval(key) {
+			t.Fatalf("same seed, different hash at key %d", key)
+		}
+	}
+	h3 := NewKWise(4, Seeded(1, 3))
+	same := 0
+	for key := uint64(0); key < 1000; key++ {
+		if h1.Eval(key) == h3.Eval(key) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds agree on %d/1000 keys", same)
+	}
+}
+
+func TestKWiseRejectsBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewKWise(0) did not panic")
+		}
+	}()
+	NewKWise(0, Seeded(1, 1))
+}
+
+func TestRangeRejectsBadM(t *testing.T) {
+	h := NewKWise(2, Seeded(9, 9))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(m=0) did not panic")
+		}
+	}()
+	h.Range(1, 0)
+}
+
+func TestRangeUniformity(t *testing.T) {
+	// Chi-square style check: hash 0..N-1 into m buckets, expect near-uniform.
+	const m = 16
+	const n = 16000
+	h := NewKWise(2, Seeded(42, 43))
+	counts := make([]int, m)
+	for key := uint64(0); key < n; key++ {
+		counts[h.Range(key, m)]++
+	}
+	exp := float64(n) / m
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	// 15 degrees of freedom; 99.99th percentile is ~44. Allow generous slack.
+	if chi2 > 60 {
+		t.Fatalf("chi2 = %.1f, suspiciously non-uniform: %v", chi2, counts)
+	}
+}
+
+func TestPairwiseIndependenceEmpirical(t *testing.T) {
+	// For pairwise family, Pr[h(a)=i and h(b)=j] should be ~1/m^2 across
+	// random draws of h, for fixed distinct a, b.
+	const m = 4
+	const trials = 40000
+	joint := make([]int, m*m)
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < trials; i++ {
+		h := NewKWise(2, rng)
+		joint[h.Range(11, m)*m+h.Range(22, m)]++
+	}
+	exp := float64(trials) / (m * m)
+	for idx, c := range joint {
+		if math.Abs(float64(c)-exp) > 6*math.Sqrt(exp) {
+			t.Fatalf("cell %d has count %d, expected ~%.0f", idx, c, exp)
+		}
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	s := NewSign(Seeded(100, 200))
+	sum := 0
+	const n = 100000
+	for key := uint64(0); key < n; key++ {
+		v := s.Eval(key)
+		if v != 1 && v != -1 {
+			t.Fatalf("sign hash returned %d", v)
+		}
+		sum += v
+	}
+	if math.Abs(float64(sum)) > 6*math.Sqrt(n) {
+		t.Fatalf("sign hash biased: sum=%d over %d keys", sum, n)
+	}
+}
+
+func TestFingerprinterBasics(t *testing.T) {
+	f := NewFingerprinter(Seeded(5, 5))
+	if f.Fold([]byte("abc")) != f.Fold([]byte("abc")) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	pairs := [][2]string{
+		{"a", "b"},
+		{"abc", "abd"},
+		{"", "x"},
+		{"a", "a\x00"},
+		{"aa", "a"},
+		{"\x00", ""},
+		{"\x00\x00", "\x00"},
+	}
+	for _, p := range pairs {
+		if f.Fold([]byte(p[0])) == f.Fold([]byte(p[1])) {
+			t.Errorf("collision between %q and %q", p[0], p[1])
+		}
+	}
+}
+
+func TestFingerprinterCollisionRate(t *testing.T) {
+	f := NewFingerprinter(Seeded(77, 78))
+	seen := make(map[uint64][]byte)
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 50000; i++ {
+		b := make([]byte, 1+rng.IntN(16))
+		for j := range b {
+			b[j] = byte(rng.UintN(256))
+		}
+		fp := f.Fold(b)
+		if prev, ok := seen[fp]; ok && string(prev) != string(b) {
+			t.Fatalf("fingerprint collision: %x vs %x", prev, b)
+		}
+		seen[fp] = append([]byte(nil), b...)
+	}
+}
+
+func TestKWiseRangeQuick(t *testing.T) {
+	h := NewKWise(3, Seeded(8, 8))
+	inRange := func(key uint64, mRaw uint16) bool {
+		m := int(mRaw%1024) + 1
+		v := h.Range(key, m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(inRange, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKWiseEvalPairwise(b *testing.B) {
+	h := NewKWise(2, Seeded(1, 1))
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= h.Eval(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkKWiseEvalLogWise(b *testing.B) {
+	h := NewKWise(32, Seeded(1, 1))
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= h.Eval(uint64(i))
+	}
+	_ = acc
+}
+
+func BenchmarkFingerprinter16B(b *testing.B) {
+	f := NewFingerprinter(Seeded(1, 1))
+	buf := []byte("0123456789abcdef")
+	b.SetBytes(int64(len(buf)))
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= f.Fold(buf)
+	}
+	_ = acc
+}

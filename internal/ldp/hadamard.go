@@ -1,0 +1,104 @@
+package ldp
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"ldphh/internal/hadamard"
+)
+
+// HadamardBit is the one-bit randomizer of the Hashtogram frequency oracle
+// ([3], used here as Theorems 3.7/3.8): the input is a bucket value v in
+// [0, T); the user picks a uniform Hadamard column j, computes the true bit
+// H[j, v] ∈ {±1} and passes it through ε-randomized response. The report is
+// the pair (j, bit), encoded as the uint64 j*2 + (bit==+1 ? 1 : 0).
+//
+// The server-side unbiasing constant is CEps = (e^ε+1)/(e^ε−1): the adjusted
+// report CEps·bit·e_j has expectation equal to (1/T)·H·e_v, so summing and
+// applying one fast Walsh–Hadamard transform reconstructs the bucket
+// histogram (see internal/freqoracle).
+type HadamardBit struct {
+	eps   float64
+	t     uint64 // power of two
+	pKeep float64
+}
+
+// NewHadamardBit constructs the randomizer over T buckets (T a power of
+// two) with privacy parameter eps > 0.
+func NewHadamardBit(eps float64, t int) HadamardBit {
+	if eps <= 0 {
+		panic("ldp: HadamardBit needs eps > 0")
+	}
+	if t < 1 || t&(t-1) != 0 {
+		panic("ldp: HadamardBit needs T a positive power of two")
+	}
+	e := math.Exp(eps)
+	return HadamardBit{eps: eps, t: uint64(t), pKeep: e / (e + 1)}
+}
+
+// T returns the bucket-domain size.
+func (r HadamardBit) T() int { return int(r.t) }
+
+// CEps returns the unbiasing constant (e^ε+1)/(e^ε−1).
+func (r HadamardBit) CEps() float64 {
+	e := math.Exp(r.eps)
+	return (e + 1) / (e - 1)
+}
+
+// Encode packs a column index and a ±1 bit into a report value.
+func (r HadamardBit) Encode(col uint64, bit int) uint64 {
+	b := uint64(0)
+	if bit > 0 {
+		b = 1
+	}
+	return col<<1 | b
+}
+
+// DecodeReport unpacks a report into (column, ±1 bit).
+func (r HadamardBit) DecodeReport(y uint64) (col uint64, bit int) {
+	if y&1 == 1 {
+		return y >> 1, 1
+	}
+	return y >> 1, -1
+}
+
+// Sample implements Randomizer.
+func (r HadamardBit) Sample(x uint64, rng *rand.Rand) uint64 {
+	if x >= r.t {
+		panic("ldp: HadamardBit input out of range")
+	}
+	col := rng.Uint64N(r.t)
+	bit := hadamard.Entry(col, x)
+	if rng.Float64() >= r.pKeep {
+		bit = -bit
+	}
+	return r.Encode(col, bit)
+}
+
+// Prob implements Randomizer.
+func (r HadamardBit) Prob(x, y uint64) float64 {
+	if x >= r.t || y >= 2*r.t {
+		return 0
+	}
+	col, bit := r.DecodeReport(y)
+	true_ := hadamard.Entry(col, x)
+	if bit == true_ {
+		return r.pKeep / float64(r.t)
+	}
+	return (1 - r.pKeep) / float64(r.t)
+}
+
+// NumInputs implements Randomizer.
+func (r HadamardBit) NumInputs() uint64 { return r.t }
+
+// NumOutputs implements Randomizer.
+func (r HadamardBit) NumOutputs() uint64 { return 2 * r.t }
+
+// NullInput implements Randomizer.
+func (r HadamardBit) NullInput() uint64 { return 0 }
+
+// Epsilon implements Randomizer.
+func (r HadamardBit) Epsilon() float64 { return r.eps }
+
+// Delta implements Randomizer.
+func (r HadamardBit) Delta() float64 { return 0 }

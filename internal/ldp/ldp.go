@@ -1,0 +1,265 @@
+// Package ldp implements the local randomizers of the paper: binary and
+// k-ary randomized response, the Hadamard one-bit randomizer underlying the
+// Hashtogram frequency oracle, basic one-time RAPPOR (the Chrome deployment
+// cited in the paper's introduction), optimized unary encoding, and a
+// deliberately approximate (ε,δ)-LDP "leaky" randomizer used to exercise the
+// GenProt purification transformation of Section 6.
+//
+// Every randomizer exposes its exact output distribution via Prob, which
+// enables three things the paper's results depend on:
+//
+//   - privacy can be *verified by enumeration* in tests (Definition 1.1 is a
+//     universally quantified statement over inputs and outputs);
+//   - GenProt (Section 6) can compute its rejection-sampling acceptance
+//     probabilities p_{i,t} = Pr[A(x)=y] / (2·Pr[A(⊥)=y]);
+//   - the hockey-stick divergence (the tight δ in (ε,δ)-LDP) is computable.
+package ldp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Randomizer is a discrete local randomizer A: X -> Y with X ⊆ uint64 inputs
+// and outputs in [0, NumOutputs). Implementations are immutable and safe for
+// concurrent use.
+type Randomizer interface {
+	// Sample draws one report A(x).
+	Sample(x uint64, rng *rand.Rand) uint64
+	// Prob returns Pr[A(x) = y] exactly.
+	Prob(x, y uint64) float64
+	// NumInputs returns the size of the legal input domain [0, NumInputs).
+	NumInputs() uint64
+	// NumOutputs returns the size of the output domain [0, NumOutputs).
+	NumOutputs() uint64
+	// NullInput returns the reference input ⊥ used by GenProt.
+	NullInput() uint64
+	// Epsilon returns the designed pure-privacy parameter (the ε such that
+	// the randomizer claims (ε, Delta())-LDP).
+	Epsilon() float64
+	// Delta returns the designed approximation parameter (0 for pure LDP).
+	Delta() float64
+}
+
+// PrivacyRatio returns max over outputs y of Pr[A(x)=y] / Pr[A(x')=y]
+// (treating 0/0 as 1 and p/0 as +Inf). For a pure ε-LDP randomizer this is
+// at most e^ε for all input pairs.
+func PrivacyRatio(r Randomizer, x, xp uint64) float64 {
+	maxRatio := 0.0
+	for y := uint64(0); y < r.NumOutputs(); y++ {
+		p := r.Prob(x, y)
+		q := r.Prob(xp, y)
+		switch {
+		case p == 0:
+			continue
+		case q == 0:
+			return math.Inf(1)
+		default:
+			if ratio := p / q; ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+	}
+	return maxRatio
+}
+
+// HockeyStick returns the hockey-stick divergence
+// Σ_y max(0, Pr[A(x)=y] - e^ε·Pr[A(x')=y]), i.e. the smallest δ for which
+// the pair (x, x') satisfies the (ε, δ) inequality in Definition 2.1.
+func HockeyStick(r Randomizer, x, xp uint64, eps float64) float64 {
+	e := math.Exp(eps)
+	s := 0.0
+	for y := uint64(0); y < r.NumOutputs(); y++ {
+		if d := r.Prob(x, y) - e*r.Prob(xp, y); d > 0 {
+			s += d
+		}
+	}
+	return s
+}
+
+// MaxPrivacyRatio exhaustively checks all ordered input pairs and returns
+// the largest privacy ratio. Intended for tests on small input domains.
+func MaxPrivacyRatio(r Randomizer) float64 {
+	worst := 0.0
+	for x := uint64(0); x < r.NumInputs(); x++ {
+		for xp := uint64(0); xp < r.NumInputs(); xp++ {
+			if x == xp {
+				continue
+			}
+			if v := PrivacyRatio(r, x, xp); v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// MaxHockeyStick exhaustively checks all ordered input pairs and returns the
+// largest hockey-stick divergence at level eps.
+func MaxHockeyStick(r Randomizer, eps float64) float64 {
+	worst := 0.0
+	for x := uint64(0); x < r.NumInputs(); x++ {
+		for xp := uint64(0); xp < r.NumInputs(); xp++ {
+			if x == xp {
+				continue
+			}
+			if v := HockeyStick(r, x, xp, eps); v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// checkTotalMass is a test helper exposed for reuse: verifies Σ_y Prob(x,y)
+// = 1 within tol for every input.
+func checkTotalMass(r Randomizer, tol float64) error {
+	for x := uint64(0); x < r.NumInputs(); x++ {
+		s := 0.0
+		for y := uint64(0); y < r.NumOutputs(); y++ {
+			s += r.Prob(x, y)
+		}
+		if math.Abs(s-1) > tol {
+			return fmt.Errorf("ldp: Prob(%d, ·) sums to %v", x, s)
+		}
+	}
+	return nil
+}
+
+// BinaryRR is the classic ε-randomized-response on one bit (the mechanism
+// M_i of the paper's Theorem 5.1): report the true bit with probability
+// e^ε/(e^ε+1), the flipped bit otherwise.
+type BinaryRR struct {
+	eps   float64
+	pKeep float64
+}
+
+// NewBinaryRR constructs binary randomized response with parameter eps > 0.
+func NewBinaryRR(eps float64) BinaryRR {
+	if eps <= 0 {
+		panic("ldp: BinaryRR needs eps > 0")
+	}
+	e := math.Exp(eps)
+	return BinaryRR{eps: eps, pKeep: e / (e + 1)}
+}
+
+// Sample implements Randomizer.
+func (r BinaryRR) Sample(x uint64, rng *rand.Rand) uint64 {
+	if x > 1 {
+		panic("ldp: BinaryRR input must be a bit")
+	}
+	if rng.Float64() < r.pKeep {
+		return x
+	}
+	return 1 - x
+}
+
+// Prob implements Randomizer.
+func (r BinaryRR) Prob(x, y uint64) float64 {
+	if x > 1 || y > 1 {
+		return 0
+	}
+	if x == y {
+		return r.pKeep
+	}
+	return 1 - r.pKeep
+}
+
+// NumInputs implements Randomizer.
+func (r BinaryRR) NumInputs() uint64 { return 2 }
+
+// NumOutputs implements Randomizer.
+func (r BinaryRR) NumOutputs() uint64 { return 2 }
+
+// NullInput implements Randomizer.
+func (r BinaryRR) NullInput() uint64 { return 0 }
+
+// Epsilon implements Randomizer.
+func (r BinaryRR) Epsilon() float64 { return r.eps }
+
+// Delta implements Randomizer.
+func (r BinaryRR) Delta() float64 { return 0 }
+
+// PKeep returns the probability of reporting the true bit.
+func (r BinaryRR) PKeep() float64 { return r.pKeep }
+
+// Unbias converts an observed count of 1-reports among n users into an
+// unbiased estimate of the number of users whose true bit is 1.
+func (r BinaryRR) Unbias(ones, n int) float64 {
+	q := 1 - r.pKeep
+	return (float64(ones) - float64(n)*q) / (r.pKeep - q)
+}
+
+// KaryRR is generalized randomized response over [k]: keep the value with
+// probability e^ε/(e^ε+k-1), otherwise report one of the k-1 other values
+// uniformly.
+type KaryRR struct {
+	eps   float64
+	k     uint64
+	pKeep float64
+}
+
+// NewKaryRR constructs k-ary randomized response; k >= 2, eps > 0.
+func NewKaryRR(eps float64, k uint64) KaryRR {
+	if eps <= 0 {
+		panic("ldp: KaryRR needs eps > 0")
+	}
+	if k < 2 {
+		panic("ldp: KaryRR needs k >= 2")
+	}
+	e := math.Exp(eps)
+	return KaryRR{eps: eps, k: k, pKeep: e / (e + float64(k) - 1)}
+}
+
+// Sample implements Randomizer.
+func (r KaryRR) Sample(x uint64, rng *rand.Rand) uint64 {
+	if x >= r.k {
+		panic("ldp: KaryRR input out of range")
+	}
+	if rng.Float64() < r.pKeep {
+		return x
+	}
+	// uniform over the other k-1 values
+	v := rng.Uint64N(r.k - 1)
+	if v >= x {
+		v++
+	}
+	return v
+}
+
+// Prob implements Randomizer.
+func (r KaryRR) Prob(x, y uint64) float64 {
+	if x >= r.k || y >= r.k {
+		return 0
+	}
+	if x == y {
+		return r.pKeep
+	}
+	return (1 - r.pKeep) / float64(r.k-1)
+}
+
+// NumInputs implements Randomizer.
+func (r KaryRR) NumInputs() uint64 { return r.k }
+
+// NumOutputs implements Randomizer.
+func (r KaryRR) NumOutputs() uint64 { return r.k }
+
+// NullInput implements Randomizer.
+func (r KaryRR) NullInput() uint64 { return 0 }
+
+// Epsilon implements Randomizer.
+func (r KaryRR) Epsilon() float64 { return r.eps }
+
+// Delta implements Randomizer.
+func (r KaryRR) Delta() float64 { return 0 }
+
+// PKeep returns the probability of reporting the true value.
+func (r KaryRR) PKeep() float64 { return r.pKeep }
+
+// Unbias converts an observed count of reports equal to some value into an
+// unbiased estimate of the number of users truly holding that value.
+func (r KaryRR) Unbias(count, n int) float64 {
+	q := (1 - r.pKeep) / float64(r.k-1)
+	return (float64(count) - float64(n)*q) / (r.pKeep - q)
+}

@@ -1,0 +1,410 @@
+package ldp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// checkSamplerMatchesProb draws many samples and compares the empirical
+// distribution against Prob for a fixed input.
+func checkSamplerMatchesProb(t *testing.T, r Randomizer, x uint64, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(99, x))
+	counts := make(map[uint64]int)
+	for i := 0; i < trials; i++ {
+		counts[r.Sample(x, rng)]++
+	}
+	for y := uint64(0); y < r.NumOutputs(); y++ {
+		want := r.Prob(x, y)
+		got := float64(counts[y]) / float64(trials)
+		tol := 6*math.Sqrt(want*(1-want)/float64(trials)) + 0.002
+		if math.Abs(got-want) > tol {
+			t.Errorf("output %d: empirical %.4f vs Prob %.4f", y, got, want)
+		}
+	}
+}
+
+func TestBinaryRR(t *testing.T) {
+	r := NewBinaryRR(1.0)
+	if err := checkTotalMass(r, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	checkSamplerMatchesProb(t, r, 0, 60000)
+	checkSamplerMatchesProb(t, r, 1, 60000)
+	// Exhaustive privacy check: Definition 1.1.
+	if got := MaxPrivacyRatio(r); got > math.Exp(1.0)+1e-9 {
+		t.Errorf("privacy ratio %.4f exceeds e^eps", got)
+	}
+	// The ratio should also be achieved (RR is tight).
+	if got := MaxPrivacyRatio(r); math.Abs(got-math.Exp(1.0)) > 1e-9 {
+		t.Errorf("RR should meet its privacy bound exactly: %.6f", got)
+	}
+}
+
+func TestBinaryRRUnbias(t *testing.T) {
+	r := NewBinaryRR(1.5)
+	rng := rand.New(rand.NewPCG(1, 1))
+	n := 200000
+	trueOnes := 60000
+	ones := 0
+	for i := 0; i < n; i++ {
+		x := uint64(0)
+		if i < trueOnes {
+			x = 1
+		}
+		if r.Sample(x, rng) == 1 {
+			ones++
+		}
+	}
+	est := r.Unbias(ones, n)
+	if math.Abs(est-float64(trueOnes)) > 4000 {
+		t.Fatalf("Unbias estimate %.0f, want ~%d", est, trueOnes)
+	}
+}
+
+func TestBinaryRRValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("eps <= 0 accepted")
+		}
+	}()
+	NewBinaryRR(0)
+}
+
+func TestKaryRR(t *testing.T) {
+	r := NewKaryRR(1.2, 5)
+	if err := checkTotalMass(r, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	checkSamplerMatchesProb(t, r, 3, 60000)
+	if got := MaxPrivacyRatio(r); got > math.Exp(1.2)+1e-9 {
+		t.Errorf("privacy ratio %.4f exceeds e^eps", got)
+	}
+	// k=2 must coincide with binary RR.
+	k2 := NewKaryRR(0.7, 2)
+	b := NewBinaryRR(0.7)
+	for x := uint64(0); x < 2; x++ {
+		for y := uint64(0); y < 2; y++ {
+			if math.Abs(k2.Prob(x, y)-b.Prob(x, y)) > 1e-12 {
+				t.Fatal("KaryRR(k=2) != BinaryRR")
+			}
+		}
+	}
+}
+
+func TestKaryRRUnbias(t *testing.T) {
+	r := NewKaryRR(1.0, 8)
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 150000
+	trueCount := 30000
+	count := 0
+	for i := 0; i < n; i++ {
+		x := uint64(7)
+		if i < trueCount {
+			x = 2
+		}
+		if r.Sample(x, rng) == 2 {
+			count++
+		}
+	}
+	est := r.Unbias(count, n)
+	if math.Abs(est-float64(trueCount)) > 5000 {
+		t.Fatalf("Unbias estimate %.0f, want ~%d", est, trueCount)
+	}
+}
+
+func TestHadamardBit(t *testing.T) {
+	r := NewHadamardBit(0.8, 16)
+	if err := checkTotalMass(r, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	checkSamplerMatchesProb(t, r, 5, 120000)
+	if got := MaxPrivacyRatio(r); got > math.Exp(0.8)+1e-9 {
+		t.Errorf("privacy ratio %.4f exceeds e^eps", got)
+	}
+	if got, want := r.CEps(), (math.Exp(0.8)+1)/(math.Exp(0.8)-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CEps = %f, want %f", got, want)
+	}
+}
+
+func TestHadamardBitEncodeDecode(t *testing.T) {
+	r := NewHadamardBit(1, 8)
+	for col := uint64(0); col < 8; col++ {
+		for _, bit := range []int{-1, 1} {
+			c, b := r.DecodeReport(r.Encode(col, bit))
+			if c != col || b != bit {
+				t.Fatalf("encode/decode mismatch: (%d,%d) -> (%d,%d)", col, bit, c, b)
+			}
+		}
+	}
+}
+
+func TestHadamardBitUnbiasedReconstruction(t *testing.T) {
+	// The advertised estimator: CEps·bit over a random column reconstructs
+	// the Hadamard coefficient in expectation; check E[CEps·y·H[j,v]] sums.
+	r := NewHadamardBit(1.0, 8)
+	rng := rand.New(rand.NewPCG(3, 3))
+	v := uint64(3)
+	const trials = 400000
+	acc := make([]float64, 8)
+	for i := 0; i < trials; i++ {
+		col, bit := r.DecodeReport(r.Sample(v, rng))
+		acc[col] += r.CEps() * float64(bit)
+	}
+	// E[acc[j]] = trials·(1/T)·H[j,v]; reconstruct e_v via inverse transform
+	// by checking the histogram entry directly: f[b] = Σ_j H[j,b]·acc[j]/trials·T/T.
+	for b := uint64(0); b < 8; b++ {
+		f := 0.0
+		for j := uint64(0); j < 8; j++ {
+			f += float64(hEntry(j, b)) * acc[j]
+		}
+		f /= trials
+		want := 0.0
+		if b == v {
+			want = 1.0
+		}
+		if math.Abs(f-want) > 0.05 {
+			t.Errorf("reconstructed e_v[%d] = %.3f, want %.0f", b, f, want)
+		}
+	}
+}
+
+func hEntry(row, col uint64) int {
+	v := row & col
+	c := 0
+	for v != 0 {
+		c++
+		v &= v - 1
+	}
+	if c%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+func TestRAPPOR(t *testing.T) {
+	r := NewRAPPOR(2.0, 8, 2, 11, 22)
+	if err := checkTotalMass(r, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	checkSamplerMatchesProb(t, r, r.BloomMask([]byte("hello")), 120000)
+	// Pure LDP holds for mask pairs reachable from items (<= 2h differing
+	// bits); check over a corpus of real items.
+	items := []string{"a", "bb", "ccc", "dddd", "eeeee", "www.example.com", "x"}
+	worst := 0.0
+	for _, a := range items {
+		for _, b := range items {
+			if a == b {
+				continue
+			}
+			ratio := PrivacyRatio(r, r.BloomMask([]byte(a)), r.BloomMask([]byte(b)))
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > math.Exp(2.0)+1e-9 {
+		t.Errorf("RAPPOR item-level privacy ratio %.4f exceeds e^eps", worst)
+	}
+}
+
+func TestRAPPORBloomMaskProperties(t *testing.T) {
+	r := NewRAPPOR(1.0, 32, 2, 5, 6)
+	m1 := r.BloomMask([]byte("chrome.google.com"))
+	m2 := r.BloomMask([]byte("chrome.google.com"))
+	if m1 != m2 {
+		t.Error("BloomMask not deterministic")
+	}
+	if m1 == 0 {
+		t.Error("BloomMask set no bits")
+	}
+	ones := 0
+	for i := 0; i < 32; i++ {
+		if m1>>uint(i)&1 == 1 {
+			ones++
+		}
+	}
+	if ones < 1 || ones > 2 {
+		t.Errorf("BloomMask set %d bits, want 1..2", ones)
+	}
+}
+
+func TestOUE(t *testing.T) {
+	r := NewOUE(1.0, 6)
+	if err := checkTotalMass(r, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	checkSamplerMatchesProb(t, r, 2, 200000)
+	if got := MaxPrivacyRatio(r); got > math.Exp(1.0)+1e-9 {
+		t.Errorf("OUE privacy ratio %.4f exceeds e^eps", got)
+	}
+}
+
+func TestOUEUnbias(t *testing.T) {
+	r := NewOUE(1.2, 10)
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 100000
+	trueCount := 25000
+	ones := 0
+	for i := 0; i < n; i++ {
+		x := uint64(9)
+		if i < trueCount {
+			x = 4
+		}
+		y := r.Sample(x, rng)
+		if y>>4&1 == 1 {
+			ones++
+		}
+	}
+	est := r.Unbias(ones, n)
+	if math.Abs(est-float64(trueCount)) > 4000 {
+		t.Fatalf("OUE Unbias estimate %.0f, want ~%d", est, trueCount)
+	}
+}
+
+func TestLeakyRR(t *testing.T) {
+	r := NewLeakyRR(1.0, 0.05)
+	if err := checkTotalMass(r, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	checkSamplerMatchesProb(t, r, 0, 80000)
+	checkSamplerMatchesProb(t, r, 1, 80000)
+	// Pure privacy must fail (infinite ratio through the leak outputs).
+	if got := MaxPrivacyRatio(r); !math.IsInf(got, 1) {
+		t.Errorf("LeakyRR pure privacy ratio should be +Inf, got %f", got)
+	}
+	// Hockey-stick at eps equals exactly delta.
+	if got := MaxHockeyStick(r, 1.0); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("LeakyRR hockey-stick = %f, want 0.05", got)
+	}
+}
+
+func TestHockeyStickPureMechanism(t *testing.T) {
+	// A pure ε-LDP mechanism has zero hockey-stick divergence at level ε and
+	// positive divergence below it.
+	r := NewBinaryRR(1.0)
+	if got := MaxHockeyStick(r, 1.0); got > 1e-12 {
+		t.Errorf("pure RR has hockey-stick %g at its own eps", got)
+	}
+	if got := MaxHockeyStick(r, 0.5); got <= 0 {
+		t.Error("hockey-stick below eps should be positive")
+	}
+}
+
+func TestRandomizerMetadata(t *testing.T) {
+	// Every randomizer must report coherent metadata — GenProt and the
+	// experiment harness rely on these accessors.
+	cases := []struct {
+		r          Randomizer
+		eps, delta float64
+		inputs     uint64
+	}{
+		{NewBinaryRR(0.7), 0.7, 0, 2},
+		{NewKaryRR(1.1, 6), 1.1, 0, 6},
+		{NewHadamardBit(0.9, 32), 0.9, 0, 32},
+		{NewOUE(1.3, 5), 1.3, 0, 5},
+		{NewLeakyRR(0.4, 0.02), 0.4, 0.02, 2},
+	}
+	for i, c := range cases {
+		if c.r.Epsilon() != c.eps {
+			t.Errorf("case %d: Epsilon = %f", i, c.r.Epsilon())
+		}
+		if c.r.Delta() != c.delta {
+			t.Errorf("case %d: Delta = %f", i, c.r.Delta())
+		}
+		if c.r.NumInputs() != c.inputs {
+			t.Errorf("case %d: NumInputs = %d", i, c.r.NumInputs())
+		}
+		if c.r.NullInput() >= c.r.NumInputs() {
+			t.Errorf("case %d: NullInput outside domain", i)
+		}
+		if c.r.NumOutputs() == 0 {
+			t.Errorf("case %d: no outputs", i)
+		}
+	}
+	h := NewHadamardBit(1, 64)
+	if h.T() != 64 {
+		t.Errorf("HadamardBit.T = %d", h.T())
+	}
+	k := NewKaryRR(1, 4)
+	if k.PKeep() <= 0.25 || k.PKeep() >= 1 {
+		t.Errorf("KaryRR.PKeep = %f", k.PKeep())
+	}
+	r := NewRAPPOR(1, 16, 2, 1, 2)
+	if r.BloomBits() != 16 || r.NumHashes() != 2 {
+		t.Error("RAPPOR accessors wrong")
+	}
+	if r.PKeep() <= 0.5 || r.PKeep() >= 1 {
+		t.Errorf("RAPPOR.PKeep = %f", r.PKeep())
+	}
+	o := NewOUE(1, 8)
+	if o.K() != 8 {
+		t.Errorf("OUE.K = %d", o.K())
+	}
+	if o.Q() <= 0 || o.Q() >= 0.5 {
+		t.Errorf("OUE.Q = %f", o.Q())
+	}
+}
+
+func TestSampleInputValidationPanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := []func(){
+		func() { NewBinaryRR(1).Sample(2, rng) },
+		func() { NewKaryRR(1, 4).Sample(4, rng) },
+		func() { NewHadamardBit(1, 8).Sample(8, rng) },
+		func() { NewOUE(1, 4).Sample(4, rng) },
+		func() { NewLeakyRR(1, 0.1).Sample(2, rng) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: out-of-domain input accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewKaryRR(1, 1) },
+		func() { NewKaryRR(-1, 5) },
+		func() { NewHadamardBit(1, 7) },
+		func() { NewHadamardBit(0, 8) },
+		func() { NewRAPPOR(1, 1, 1, 0, 0) },
+		func() { NewRAPPOR(1, 8, 9, 0, 0) },
+		func() { NewOUE(1, 1) },
+		func() { NewOUE(1, 65) },
+		func() { NewLeakyRR(1, 0) },
+		func() { NewLeakyRR(1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid construction accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkBinaryRRSample(b *testing.B) {
+	r := NewBinaryRR(1)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < b.N; i++ {
+		r.Sample(uint64(i&1), rng)
+	}
+}
+
+func BenchmarkHadamardBitSample(b *testing.B) {
+	r := NewHadamardBit(1, 1024)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < b.N; i++ {
+		r.Sample(uint64(i&1023), rng)
+	}
+}

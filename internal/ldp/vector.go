@@ -1,0 +1,275 @@
+package ldp
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// RAPPOR is basic one-time RAPPOR (Erlingsson-Pihur-Korolova, CCS 2014 —
+// reference [12] of the paper, the Chrome deployment): the item is hashed
+// into a Bloom filter of BloomBits bits by NumHashes hash functions, and
+// each bit goes through randomized response with per-bit parameter
+// ε/(2·NumHashes), for a total privacy cost of ε (each item sets NumHashes
+// bits, and flipping an item toggles at most 2·NumHashes bits).
+//
+// The Randomizer interface views the *Bloom-encoded* input: inputs are
+// uint64 Bloom masks, outputs are uint64 report masks. Item hashing is done
+// by BloomMask. BloomBits must be <= 20 for the interface's exhaustive
+// output enumeration to stay tractable in tests; sampling works up to 64.
+type RAPPOR struct {
+	eps       float64
+	bloomBits int
+	numHashes int
+	pKeep     float64 // per-bit probability of reporting the true bit
+	seedA     uint64
+	seedB     uint64
+}
+
+// NewRAPPOR constructs a basic one-time RAPPOR randomizer. seeds derive the
+// public Bloom hash functions.
+func NewRAPPOR(eps float64, bloomBits, numHashes int, seedA, seedB uint64) RAPPOR {
+	if eps <= 0 {
+		panic("ldp: RAPPOR needs eps > 0")
+	}
+	if bloomBits < 2 || bloomBits > 64 {
+		panic("ldp: RAPPOR needs 2 <= BloomBits <= 64")
+	}
+	if numHashes < 1 || numHashes > bloomBits {
+		panic("ldp: RAPPOR needs 1 <= NumHashes <= BloomBits")
+	}
+	e := math.Exp(eps / (2 * float64(numHashes)))
+	return RAPPOR{
+		eps:       eps,
+		bloomBits: bloomBits,
+		numHashes: numHashes,
+		pKeep:     e / (e + 1),
+		seedA:     seedA,
+		seedB:     seedB,
+	}
+}
+
+// BloomBits returns the filter width.
+func (r RAPPOR) BloomBits() int { return r.bloomBits }
+
+// NumHashes returns the number of Bloom hash functions.
+func (r RAPPOR) NumHashes() int { return r.numHashes }
+
+// PKeep returns the per-bit probability of reporting the true bit.
+func (r RAPPOR) PKeep() float64 { return r.pKeep }
+
+// BloomMask returns the Bloom filter mask for an item.
+func (r RAPPOR) BloomMask(item []byte) uint64 {
+	var mask uint64
+	for h := 0; h < r.numHashes; h++ {
+		acc := r.seedA + uint64(h)*0x9e3779b97f4a7c15
+		for _, b := range item {
+			acc ^= uint64(b)
+			acc *= 0x100000001b3
+			acc ^= acc >> 29
+		}
+		acc ^= r.seedB
+		acc *= 0xff51afd7ed558ccd
+		acc ^= acc >> 33
+		mask |= 1 << (acc % uint64(r.bloomBits))
+	}
+	return mask
+}
+
+// Sample implements Randomizer: x is a Bloom mask; each of the BloomBits
+// bits is kept with probability pKeep and flipped otherwise.
+func (r RAPPOR) Sample(x uint64, rng *rand.Rand) uint64 {
+	var out uint64
+	for i := 0; i < r.bloomBits; i++ {
+		bit := x >> uint(i) & 1
+		if rng.Float64() >= r.pKeep {
+			bit ^= 1
+		}
+		out |= bit << uint(i)
+	}
+	return out
+}
+
+// Prob implements Randomizer.
+func (r RAPPOR) Prob(x, y uint64) float64 {
+	if r.bloomBits < 64 {
+		lim := uint64(1) << uint(r.bloomBits)
+		if x >= lim || y >= lim {
+			return 0
+		}
+	}
+	diff := bits.OnesCount64(x ^ y)
+	same := r.bloomBits - diff
+	return math.Pow(r.pKeep, float64(same)) * math.Pow(1-r.pKeep, float64(diff))
+}
+
+// NumInputs implements Randomizer.
+func (r RAPPOR) NumInputs() uint64 { return 1 << uint(r.bloomBits) }
+
+// NumOutputs implements Randomizer.
+func (r RAPPOR) NumOutputs() uint64 { return 1 << uint(r.bloomBits) }
+
+// NullInput implements Randomizer.
+func (r RAPPOR) NullInput() uint64 { return 0 }
+
+// Epsilon implements Randomizer. The stated ε covers input masks that
+// differ in at most 2·NumHashes bits, which is exactly the reachable set of
+// Bloom masks of two items.
+func (r RAPPOR) Epsilon() float64 { return r.eps }
+
+// Delta implements Randomizer.
+func (r RAPPOR) Delta() float64 { return 0 }
+
+// OUE is optimized unary encoding (Wang et al.'s OUE, the standard
+// communication-heavy frequency-oracle baseline): the input v in [k] is
+// one-hot encoded; the '1' bit is reported truthfully with probability 1/2
+// and every '0' bit is reported as 1 with probability 1/(e^ε+1).
+type OUE struct {
+	eps float64
+	k   int
+	q   float64 // Pr[report 1 | true 0]
+}
+
+// NewOUE constructs optimized unary encoding over k <= 64 values.
+func NewOUE(eps float64, k int) OUE {
+	if eps <= 0 {
+		panic("ldp: OUE needs eps > 0")
+	}
+	if k < 2 || k > 64 {
+		panic("ldp: OUE needs 2 <= k <= 64")
+	}
+	return OUE{eps: eps, k: k, q: 1 / (math.Exp(eps) + 1)}
+}
+
+// K returns the domain size.
+func (r OUE) K() int { return r.k }
+
+// Q returns Pr[bit reported 1 | true bit 0].
+func (r OUE) Q() float64 { return r.q }
+
+// Sample implements Randomizer: x in [k] one-hot encoded, output is a k-bit
+// mask.
+func (r OUE) Sample(x uint64, rng *rand.Rand) uint64 {
+	if x >= uint64(r.k) {
+		panic("ldp: OUE input out of range")
+	}
+	var out uint64
+	for i := 0; i < r.k; i++ {
+		var p float64
+		if uint64(i) == x {
+			p = 0.5
+		} else {
+			p = r.q
+		}
+		if rng.Float64() < p {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Prob implements Randomizer.
+func (r OUE) Prob(x, y uint64) float64 {
+	if x >= uint64(r.k) {
+		return 0
+	}
+	if r.k < 64 && y >= 1<<uint(r.k) {
+		return 0
+	}
+	p := 1.0
+	for i := 0; i < r.k; i++ {
+		bit := y >> uint(i) & 1
+		var pOne float64
+		if uint64(i) == x {
+			pOne = 0.5
+		} else {
+			pOne = r.q
+		}
+		if bit == 1 {
+			p *= pOne
+		} else {
+			p *= 1 - pOne
+		}
+	}
+	return p
+}
+
+// NumInputs implements Randomizer.
+func (r OUE) NumInputs() uint64 { return uint64(r.k) }
+
+// NumOutputs implements Randomizer.
+func (r OUE) NumOutputs() uint64 { return 1 << uint(r.k) }
+
+// NullInput implements Randomizer.
+func (r OUE) NullInput() uint64 { return 0 }
+
+// Epsilon implements Randomizer.
+func (r OUE) Epsilon() float64 { return r.eps }
+
+// Delta implements Randomizer.
+func (r OUE) Delta() float64 { return 0 }
+
+// Unbias converts the count of reports whose v-th bit is 1 into an unbiased
+// estimate of the number of users holding v.
+func (r OUE) Unbias(ones, n int) float64 {
+	return (float64(ones) - float64(n)*r.q) / (0.5 - r.q)
+}
+
+// LeakyRR is an (ε, δ)-LDP randomizer built to be *genuinely approximate*:
+// with probability 1-δ it behaves as binary ε-randomized response (outputs
+// 0/1); with probability δ it leaks the input in the clear on a disjoint
+// part of the output space (outputs 2+x). Its pure privacy ratio is infinite
+// while its hockey-stick divergence at level ε is exactly δ, making it the
+// canonical test subject for the Section 6 GenProt transformation.
+type LeakyRR struct {
+	rr    BinaryRR
+	delta float64
+}
+
+// NewLeakyRR constructs the leaky randomizer; eps > 0, 0 < delta < 1.
+func NewLeakyRR(eps, delta float64) LeakyRR {
+	if delta <= 0 || delta >= 1 {
+		panic("ldp: LeakyRR needs delta in (0,1)")
+	}
+	return LeakyRR{rr: NewBinaryRR(eps), delta: delta}
+}
+
+// Sample implements Randomizer.
+func (r LeakyRR) Sample(x uint64, rng *rand.Rand) uint64 {
+	if x > 1 {
+		panic("ldp: LeakyRR input must be a bit")
+	}
+	if rng.Float64() < r.delta {
+		return 2 + x
+	}
+	return r.rr.Sample(x, rng)
+}
+
+// Prob implements Randomizer.
+func (r LeakyRR) Prob(x, y uint64) float64 {
+	if x > 1 || y > 3 {
+		return 0
+	}
+	if y >= 2 {
+		if y-2 == x {
+			return r.delta
+		}
+		return 0
+	}
+	return (1 - r.delta) * r.rr.Prob(x, y)
+}
+
+// NumInputs implements Randomizer.
+func (r LeakyRR) NumInputs() uint64 { return 2 }
+
+// NumOutputs implements Randomizer.
+func (r LeakyRR) NumOutputs() uint64 { return 4 }
+
+// NullInput implements Randomizer.
+func (r LeakyRR) NullInput() uint64 { return 0 }
+
+// Epsilon implements Randomizer.
+func (r LeakyRR) Epsilon() float64 { return r.rr.Epsilon() }
+
+// Delta implements Randomizer.
+func (r LeakyRR) Delta() float64 { return r.delta }

@@ -1,0 +1,95 @@
+package listrec
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestDefinition35Property is a randomized property test of the
+// unique-list-recovery guarantee: across random code instances, random item
+// sets and random per-item coordinate drops within the tolerance, every
+// surviving item must be recovered.
+func TestDefinition35Property(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized property sweep")
+	}
+	p := Params{ItemBytes: 8, M: 16, Y: 256, F: 4, D: 6}
+	const rounds = 25
+	for round := 0; round < rounds; round++ {
+		seed := uint64(1000 + round)
+		c, err := New(p, rand.New(rand.NewPCG(seed, seed^0xff)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(seed, 77))
+		nItems := 1 + rng.IntN(8)
+		var items [][]byte
+		for i := 0; i < nItems; i++ {
+			items = append(items, randItem(rng, 8))
+		}
+		lists := buildLists(c, items)
+		// Drop up to 2 coordinates' symbols of the FIRST item (well within
+		// the RS(16,8) erasure budget even after unique-Y collisions).
+		drop := rng.IntN(3)
+		enc, err := c.Encode(items[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(c.M())
+		for _, m := range perm[:drop] {
+			for i, s := range lists[m] {
+				if s == enc[m] {
+					lists[m] = append(lists[m][:i:i], lists[m][i+1:]...)
+					break
+				}
+			}
+		}
+		got, err := c.Decode(lists, rng)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, it := range items {
+			if !containsItem(got, it) {
+				t.Errorf("round %d (seed %d, %d items, drop %d): item %x lost",
+					round, seed, nItems, drop, it)
+			}
+		}
+		// No unverifiable phantoms: every output must re-verify by
+		// construction, so the count stays within a small factor.
+		if len(got) > 2*nItems+2 {
+			t.Errorf("round %d: %d outputs for %d items", round, len(got), nItems)
+		}
+	}
+}
+
+// TestDecodeAllCoordinatesCorrupted is the failure-injection counterpart:
+// when more coordinates are corrupted than the code tolerates, Decode must
+// return nothing for that item (never a wrong item that passes
+// verification).
+func TestDecodeAllCoordinatesCorrupted(t *testing.T) {
+	p := Params{ItemBytes: 8, M: 16, Y: 256, F: 4, D: 6}
+	c, err := New(p, rand.New(rand.NewPCG(5, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	item := randItem(rng, 8)
+	lists := buildLists(c, [][]byte{item})
+	// Corrupt the payloads of 12 of 16 coordinates — far beyond tolerance.
+	perm := rng.Perm(c.M())
+	for _, m := range perm[:12] {
+		lists[m][0].Z ^= 0x5a5a & (1<<uint(c.ZBits()) - 1)
+	}
+	got, err := c.Decode(lists, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsItem(got, item) {
+		t.Error("item recovered despite 12/16 corrupted coordinates (miracle or bug)")
+	}
+	for _, g := range got {
+		if !c.verify(g, lists) {
+			t.Errorf("unverified phantom output %x", g)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package lowerbound implements Section 7 of the paper: the
+// anti-concentration lower bound (Theorem 7.2) stating that every
+// non-interactive (ε, δ)-LDP frequency oracle has worst-case error
+// Ω((1/ε)·sqrt(n·log(|X|/β))) with probability at least β, together with an
+// empirical harness that demonstrates the bound's *tightness*: the optimal
+// randomized-response counting protocol's error quantiles match the bound's
+// shape in both n and β.
+//
+// The harness follows the proof's construction: a uniformly random database
+// S ∈ {0,1}^m with m = C·ε²·n is blown up into D ∈ {0,1}^n by duplicating
+// every bit n/m times; the protocol's renormalized estimate of ΣS inherits
+// the duplicated noise, and binomial anti-concentration (Theorem A.5) forces
+// the stated error floor.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ldphh/internal/dist"
+	"ldphh/internal/ldp"
+)
+
+// ErrorLowerBound returns the Theorem 7.2 bound on the worst-case error of
+// any (ε, δ)-LDP frequency oracle at failure probability beta over domain
+// size |X| (with reference constant 1):
+//
+//	Δ ≥ (1/ε)·sqrt(n·ln(|X|/β)).
+func ErrorLowerBound(eps float64, n int, domainSize, beta float64) float64 {
+	if eps <= 0 || n < 1 || domainSize < 2 || beta <= 0 || beta >= 1 {
+		panic("lowerbound: invalid arguments")
+	}
+	return math.Sqrt(float64(n)*math.Log(domainSize/beta)) / eps
+}
+
+// CountingResult is one trial of the blow-up experiment.
+type CountingResult struct {
+	TrueSum int     // ΣS, the number of ones in the random source database
+	EstSum  float64 // renormalized protocol estimate of ΣS
+}
+
+// Err returns the signed estimation error.
+func (r CountingResult) Err() float64 { return r.EstSum - float64(r.TrueSum) }
+
+// Experiment runs trials of the Section 7 construction with the optimal
+// binary-randomized-response counting protocol: m = ceil(C·ε²·n) source
+// bits (C defaulting to 1 when cFactor <= 0), each held by n/m users.
+func Experiment(eps float64, n, trials int, cFactor float64, rng *rand.Rand) ([]CountingResult, error) {
+	if eps <= 0 || n < 1 || trials < 1 {
+		return nil, fmt.Errorf("lowerbound: invalid arguments")
+	}
+	if cFactor <= 0 {
+		cFactor = 1
+	}
+	m := int(math.Ceil(cFactor * eps * eps * float64(n)))
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	rr := ldp.NewBinaryRR(eps)
+	results := make([]CountingResult, trials)
+	for t := range results {
+		// Random source database S and its blow-up D; run RR counting on D.
+		trueSum := 0
+		ones := 0
+		reports := 0
+		for j := 0; j < m; j++ {
+			bit := uint64(0)
+			if rng.Float64() < 0.5 {
+				bit = 1
+				trueSum++
+			}
+			copies := n / m
+			if j < n%m {
+				copies++
+			}
+			for c := 0; c < copies; c++ {
+				if rr.Sample(bit, rng) == 1 {
+					ones++
+				}
+				reports++
+			}
+		}
+		estD := rr.Unbias(ones, reports)
+		results[t] = CountingResult{
+			TrueSum: trueSum,
+			EstSum:  estD * float64(m) / float64(n),
+		}
+	}
+	return results, nil
+}
+
+// QuantileRow is one line of the E12 tightness table: at failure probability
+// beta, the measured (1-beta)-quantile of |error| against the theoretical
+// sqrt(m·ln(1/beta))-shaped floor.
+type QuantileRow struct {
+	Beta          float64
+	MeasuredQuant float64
+	TheoryShape   float64 // sqrt(m·ln(1/beta)) reference curve (constant-free)
+}
+
+// Tightness reduces trial results to the quantile table. m must be the
+// source-database size used in the experiment (ceil(cFactor·ε²·n)).
+func Tightness(results []CountingResult, m int, betas []float64) []QuantileRow {
+	errs := make([]float64, len(results))
+	for i, r := range results {
+		errs[i] = math.Abs(r.Err())
+	}
+	rows := make([]QuantileRow, 0, len(betas))
+	for _, beta := range betas {
+		rows = append(rows, QuantileRow{
+			Beta:          beta,
+			MeasuredQuant: dist.Quantile(errs, 1-beta),
+			TheoryShape:   math.Sqrt(float64(m) * math.Log(1/beta)),
+		})
+	}
+	return rows
+}
+
+// SourceSize returns the m used by Experiment for the given parameters.
+func SourceSize(eps float64, n int, cFactor float64) int {
+	if cFactor <= 0 {
+		cFactor = 1
+	}
+	m := int(math.Ceil(cFactor * eps * eps * float64(n)))
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// AntiConcentrationHolds checks the Theorem A.5 statement empirically on the
+// experiment results: Pr[|err| > c·sqrt(m·ln(1/β))] >= β for the given
+// constant c, returning the measured exceedance probability.
+func AntiConcentrationHolds(results []CountingResult, m int, beta, c float64) (measured float64) {
+	threshold := c * math.Sqrt(float64(m)*math.Log(1/beta))
+	count := 0
+	for _, r := range results {
+		if math.Abs(r.Err()) > threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(results))
+}

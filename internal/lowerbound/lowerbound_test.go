@@ -1,0 +1,137 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestErrorLowerBoundShape(t *testing.T) {
+	// Δ grows as sqrt(n), sqrt(log|X|), sqrt(log 1/β) and 1/ε.
+	base := ErrorLowerBound(1, 10000, 1<<32, 0.05)
+	if got := ErrorLowerBound(1, 40000, 1<<32, 0.05); math.Abs(got/base-2) > 0.01 {
+		t.Errorf("n-scaling wrong: %f", got/base)
+	}
+	if got := ErrorLowerBound(0.5, 10000, 1<<32, 0.05); math.Abs(got/base-2) > 0.01 {
+		t.Errorf("eps-scaling wrong: %f", got/base)
+	}
+	if ErrorLowerBound(1, 10000, 1<<32, 0.0001) <= base {
+		t.Error("beta-scaling missing")
+	}
+	if ErrorLowerBound(1, 10000, 1<<48, 0.05) <= base {
+		t.Error("domain-scaling missing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid args accepted")
+		}
+	}()
+	ErrorLowerBound(0, 10, 2, 0.1)
+}
+
+func TestExperimentUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 20000
+	const trials = 300
+	results, err := Experiment(0.5, n, trials, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != trials {
+		t.Fatalf("got %d results", len(results))
+	}
+	m := SourceSize(0.5, n, 1)
+	// The estimator is unbiased: mean signed error ~ 0 within Monte-Carlo
+	// noise. Error stdev per trial ~ CEps·sqrt(n)·(m/n) = CEps·sqrt(m)·sqrt(m/n).
+	sum := 0.0
+	for _, r := range results {
+		sum += r.Err()
+	}
+	mean := sum / trials
+	if math.Abs(mean) > float64(m)/5 {
+		t.Errorf("mean signed error %.1f suspicious (m=%d)", mean, m)
+	}
+}
+
+// TestTheorem72Tightness is experiment E12: the measured (1-β)-quantile of
+// the optimal counting protocol's error tracks sqrt(m·ln(1/β)) — matching
+// the lower bound's shape, hence the bound is tight in β.
+func TestTheorem72Tightness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	const n = 10000
+	const eps = 0.5
+	const trials = 4000
+	results, err := Experiment(eps, n, trials, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SourceSize(eps, n, 1)
+	betas := []float64{0.2, 0.05, 0.01}
+	rows := Tightness(results, m, betas)
+	// The normalized ratio measured/theory must be roughly constant across β
+	// (tight shape) — allow 2x wiggle across the range.
+	ratios := make([]float64, len(rows))
+	for i, row := range rows {
+		if row.MeasuredQuant <= 0 {
+			t.Fatalf("degenerate quantile at beta=%v", row.Beta)
+		}
+		ratios[i] = row.MeasuredQuant / row.TheoryShape
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 2*ratios[0] || ratios[i] < ratios[0]/2 {
+			t.Errorf("quantile/theory ratio drifts: %v", ratios)
+		}
+	}
+	// Quantiles must increase as β decreases.
+	if !(rows[0].MeasuredQuant < rows[2].MeasuredQuant) {
+		t.Errorf("quantiles not increasing as beta decreases: %+v", rows)
+	}
+}
+
+// TestAntiConcentrationFloor verifies the Theorem A.5 consequence the lower
+// bound rests on: with a small enough constant, the error *exceeds*
+// c·sqrt(m·ln(1/β)) with probability at least β.
+func TestAntiConcentrationFloor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	const n = 10000
+	const eps = 0.5
+	const trials = 4000
+	results, err := Experiment(eps, n, trials, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := SourceSize(eps, n, 1)
+	for _, beta := range []float64{0.1, 0.02} {
+		// c = 1/4 is comfortably below the true constant for this protocol.
+		measured := AntiConcentrationHolds(results, m, beta, 0.25)
+		if measured < beta {
+			t.Errorf("beta=%v: exceedance %.4f below beta — anti-concentration floor violated",
+				beta, measured)
+		}
+	}
+}
+
+func TestSourceSize(t *testing.T) {
+	if m := SourceSize(0.5, 10000, 1); m != 2500 {
+		t.Errorf("SourceSize = %d, want 2500", m)
+	}
+	if m := SourceSize(10, 100, 1); m != 100 {
+		t.Errorf("SourceSize must cap at n, got %d", m)
+	}
+	if m := SourceSize(0.001, 100, 1); m != 1 {
+		t.Errorf("SourceSize must floor at 1, got %d", m)
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := Experiment(0, 10, 1, 1, rng); err == nil {
+		t.Error("eps 0 accepted")
+	}
+	if _, err := Experiment(1, 0, 1, 1, rng); err == nil {
+		t.Error("n 0 accepted")
+	}
+	if _, err := Experiment(1, 10, 0, 1, rng); err == nil {
+		t.Error("trials 0 accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeReport: arbitrary bytes must never panic the decoder, and any
+// frame it accepts must re-encode to the identical bytes (canonical form).
+func FuzzDecodeReport(f *testing.F) {
+	f.Add(make([]byte, FrameSize))
+	good := make([]byte, FrameSize)
+	good[0] = Version
+	good[7] = 1
+	good[14] = 1
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, FrameSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeReport(rep)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not canonical: %x -> %x", data, out)
+		}
+	})
+}

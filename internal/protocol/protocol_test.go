@@ -1,0 +1,259 @@
+package protocol
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ldphh/internal/core"
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/workload"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	reps := []core.Report{
+		{M: 0, Dir: freqoracle.DirectReport{Col: 0, Bit: 1},
+			Conf: freqoracle.HashtogramReport{Row: 0, Col: 0, Bit: -1}},
+		{M: 15, Dir: freqoracle.DirectReport{Col: 1 << 20, Bit: -1},
+			Conf: freqoracle.HashtogramReport{Row: 31, Col: 12345, Bit: 1}},
+		{M: 65535, Dir: freqoracle.DirectReport{Col: ^uint32(0), Bit: 1},
+			Conf: freqoracle.HashtogramReport{Row: 65535, Col: ^uint32(0), Bit: 1}},
+	}
+	for _, rep := range reps {
+		buf, err := EncodeReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != FrameSize {
+			t.Fatalf("frame size %d", len(buf))
+		}
+		got, err := DecodeReport(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rep {
+			t.Fatalf("roundtrip mismatch: %+v != %+v", got, rep)
+		}
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	if _, err := EncodeReport(core.Report{M: 1 << 17}); err == nil {
+		t.Error("oversized group accepted")
+	}
+	if _, err := DecodeReport(make([]byte, 3)); err == nil {
+		t.Error("short frame accepted")
+	}
+	bad := make([]byte, FrameSize)
+	bad[0] = 99
+	if _, err := DecodeReport(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad[0] = Version
+	bad[7] = 7
+	if _, err := DecodeReport(bad); err == nil {
+		t.Error("bad bit byte accepted")
+	}
+}
+
+func TestFrameStreamRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	var want []core.Report
+	for i := 0; i < 100; i++ {
+		rep := core.Report{
+			M:    i % 8,
+			Dir:  freqoracle.DirectReport{Col: uint32(i * 31), Bit: int8(1 - 2*(i%2))},
+			Conf: freqoracle.HashtogramReport{Row: i % 16, Col: uint32(i), Bit: int8(2*(i%2) - 1)},
+		}
+		want = append(want, rep)
+		if err := WriteFrame(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("expected EOF at stream end")
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network round")
+	}
+	const n = 30000
+	params := core.Params{Eps: 4, N: n, ItemBytes: 4, Y: 64, Seed: 777}
+	srv, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dom := workload.Domain{ItemBytes: 4}
+	ds, err := workload.Planted(dom, n, []float64{0.30, 0.22}, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a fleet: 4 concurrent batches of users, each over its own
+	// connection (the paper's non-interactive single-message model).
+	proto := srv.Protocol()
+	const fleets = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, fleets)
+	for f := 0; f < fleets; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(f), 99))
+			var batch []core.Report
+			for i := f; i < n; i += fleets {
+				rep, err := proto.Report(ds.Items[i], i, rng)
+				if err != nil {
+					errs <- err
+					return
+				}
+				batch = append(batch, rep)
+			}
+			errs <- SendReports(srv.Addr(), batch)
+		}(f)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Absorbed(); got != n {
+		t.Fatalf("server absorbed %d of %d reports", got, n)
+	}
+
+	est, err := RequestIdentify(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		item := dom.Item(uint64(i))
+		found := false
+		for _, e := range est {
+			if bytes.Equal(e.Item, item) {
+				found = true
+				if math.Abs(e.Count-float64(ds.Count(item))) > 6000 {
+					t.Errorf("item %d estimate %.0f, truth %d", i, e.Count, ds.Count(item))
+				}
+			}
+		}
+		if !found {
+			t.Errorf("item %d not identified over TCP", i)
+		}
+	}
+	// A second identify must fail: the round is closed.
+	if _, err := RequestIdentify(srv.Addr()); err == nil {
+		t.Error("second identify accepted")
+	}
+}
+
+func TestServerRejectsCorruptStream(t *testing.T) {
+	params := core.Params{Eps: 2, N: 1000, ItemBytes: 4, Y: 64, Seed: 5}
+	srv, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A truncated frame must not be absorbed and must not wedge the server.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append([]byte{0x01}, make([]byte, FrameSize/2)...)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A frame with a bad version byte must be rejected mid-stream.
+	proto := srv.Protocol()
+	rng := rand.New(rand.NewPCG(1, 1))
+	good, err := proto.Report([]byte{0, 0, 0, 1}, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := EncodeReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 99
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte{0x01}, frame...)
+	payload = append(payload, bad...)
+	if _, err := conn2.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+
+	// Give the handlers a moment, then confirm the server survived and
+	// absorbed at most the one good frame.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && srv.Absorbed() < 1 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a := srv.Absorbed(); a > 1 {
+		t.Fatalf("server absorbed %d reports from corrupt streams", a)
+	}
+	// Server still functional: a clean batch goes through.
+	if err := SendReports(srv.Addr(), []core.Report{good}); err != nil {
+		t.Fatalf("server wedged after corrupt streams: %v", err)
+	}
+}
+
+func TestUnknownCommandRejected(t *testing.T) {
+	params := core.Params{Eps: 2, N: 100, ItemBytes: 4, Y: 64, Seed: 6}
+	srv, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0xee}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ := conn.Read(buf)
+	if n == 0 || buf[0] != 'E' { // "ERR ..." reply
+		t.Fatalf("expected error reply, got %q", buf[:n])
+	}
+}
+
+func BenchmarkEncodeReport(b *testing.B) {
+	rep := core.Report{
+		M:    7,
+		Dir:  freqoracle.DirectReport{Col: 12345, Bit: 1},
+		Conf: freqoracle.HashtogramReport{Row: 3, Col: 999, Bit: -1},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeReport(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ldphh/internal/core"
+)
+
+// Commands on the control byte that begins every connection.
+const (
+	cmdReport   = 0x01 // followed by a stream of report frames until EOF
+	cmdIdentify = 0x02 // triggers identification; reply is the estimate list
+)
+
+// Server aggregates LDP reports over TCP into a PrivateExpanderSketch
+// protocol instance. One Server serves one collection round.
+type Server struct {
+	proto *core.Protocol
+
+	mu       sync.Mutex
+	absorbed int
+	done     bool
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer constructs a server around a fresh protocol with the given
+// parameters and starts listening on addr (use "127.0.0.1:0" for tests).
+func NewServer(params core.Params, addr string) (*Server, error) {
+	proto, err := core.New(params)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{proto: proto, ln: ln, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Protocol exposes the underlying protocol (public randomness for clients).
+func (s *Server) Protocol() *core.Protocol { return s.proto }
+
+// Absorbed returns the number of reports accepted so far.
+func (s *Server) Absorbed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.absorbed
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				// Listener failure outside Close: stop accepting.
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				// Best effort error reply; the connection is about to close.
+				fmt.Fprintf(conn, "ERR %v\n", err)
+			}
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	cmd, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case cmdReport:
+		if err := s.handleReports(br); err != nil {
+			return err
+		}
+		// Acknowledge so the sender knows every frame was absorbed before it
+		// returns (SendReports blocks on this byte).
+		_, err := conn.Write([]byte{ackByte})
+		return err
+	case cmdIdentify:
+		return s.handleIdentify(conn)
+	default:
+		return fmt.Errorf("protocol: unknown command %d", cmd)
+	}
+}
+
+const ackByte = 0x06
+
+func (s *Server) handleReports(r io.Reader) error {
+	for {
+		rep, err := ReadFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			return errors.New("protocol: collection round already identified")
+		}
+		err = s.proto.Absorb(rep)
+		if err == nil {
+			s.absorbed++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) handleIdentify(conn net.Conn) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return errors.New("protocol: already identified")
+	}
+	s.done = true
+	est, err := s.proto.Identify()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(conn)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(est)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, e := range est {
+		var lenb [2]byte
+		binary.BigEndian.PutUint16(lenb[:], uint16(len(e.Item)))
+		if _, err := bw.Write(lenb[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(e.Item); err != nil {
+			return err
+		}
+		var cnt [8]byte
+		binary.BigEndian.PutUint64(cnt[:], uint64(int64(e.Count)))
+		if _, err := bw.Write(cnt[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SendReports streams reports to the server over one connection and waits
+// for the server's acknowledgment that every frame was absorbed.
+func SendReports(addr string, reports []core.Report) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := bw.WriteByte(cmdReport); err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		if err := WriteFrame(bw, rep); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Half-close the write side so the server sees EOF, then wait for ACK.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			return err
+		}
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return fmt.Errorf("protocol: waiting for server ack: %w", err)
+	}
+	if ack[0] != ackByte {
+		return fmt.Errorf("protocol: server rejected the batch (reply %q...)", ack[0])
+	}
+	return nil
+}
+
+// RequestIdentify asks the server to run identification and returns the
+// estimates.
+func RequestIdentify(addr string) ([]core.Estimate, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{cmdIdentify}); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("protocol: reading identify reply: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	const maxItems = 1 << 24
+	if n > maxItems {
+		return nil, fmt.Errorf("protocol: implausible estimate count %d", n)
+	}
+	out := make([]core.Estimate, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var lenb [2]byte
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return nil, err
+		}
+		item := make([]byte, binary.BigEndian.Uint16(lenb[:]))
+		if _, err := io.ReadFull(br, item); err != nil {
+			return nil, err
+		}
+		var cnt [8]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, err
+		}
+		out = append(out, core.Estimate{Item: item, Count: float64(int64(binary.BigEndian.Uint64(cnt[:])))})
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+// Package protocol provides the wire format and a TCP transport for
+// PrivateExpanderSketch, so the "distributed database" of the paper is
+// exercised over a real network path: users serialize their single ε-LDP
+// report into a fixed 15-byte frame, an aggregation server absorbs frames
+// from any number of connections, and a control command triggers
+// identification.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ldphh/internal/core"
+	"ldphh/internal/freqoracle"
+)
+
+// Frame layout (big endian), 15 bytes:
+//
+//	offset size field
+//	0      1    version (currently 1)
+//	1      2    coordinate group m
+//	3      4    direct-report column
+//	7      1    direct-report bit (0 => -1, 1 => +1)
+//	8      2    confirmation row
+//	10     4    confirmation column
+//	14     1    confirmation bit (0 => -1, 1 => +1)
+const (
+	Version   = 1
+	FrameSize = 15
+)
+
+// EncodeReport serializes a report into a fresh frame.
+func EncodeReport(rep core.Report) ([]byte, error) {
+	if rep.M < 0 || rep.M > 0xffff {
+		return nil, fmt.Errorf("protocol: group %d does not fit the frame", rep.M)
+	}
+	if rep.Conf.Row < 0 || rep.Conf.Row > 0xffff {
+		return nil, fmt.Errorf("protocol: confirmation row %d does not fit the frame", rep.Conf.Row)
+	}
+	buf := make([]byte, FrameSize)
+	buf[0] = Version
+	binary.BigEndian.PutUint16(buf[1:], uint16(rep.M))
+	binary.BigEndian.PutUint32(buf[3:], rep.Dir.Col)
+	buf[7] = bitByte(rep.Dir.Bit)
+	binary.BigEndian.PutUint16(buf[8:], uint16(rep.Conf.Row))
+	binary.BigEndian.PutUint32(buf[10:], rep.Conf.Col)
+	buf[14] = bitByte(rep.Conf.Bit)
+	return buf, nil
+}
+
+// DecodeReport parses one frame.
+func DecodeReport(buf []byte) (core.Report, error) {
+	if len(buf) != FrameSize {
+		return core.Report{}, fmt.Errorf("protocol: frame length %d, want %d", len(buf), FrameSize)
+	}
+	if buf[0] != Version {
+		return core.Report{}, fmt.Errorf("protocol: unsupported version %d", buf[0])
+	}
+	dirBit, err := byteBit(buf[7])
+	if err != nil {
+		return core.Report{}, err
+	}
+	confBit, err := byteBit(buf[14])
+	if err != nil {
+		return core.Report{}, err
+	}
+	return core.Report{
+		M: int(binary.BigEndian.Uint16(buf[1:])),
+		Dir: freqoracle.DirectReport{
+			Col: binary.BigEndian.Uint32(buf[3:]),
+			Bit: dirBit,
+		},
+		Conf: freqoracle.HashtogramReport{
+			Row: int(binary.BigEndian.Uint16(buf[8:])),
+			Col: binary.BigEndian.Uint32(buf[10:]),
+			Bit: confBit,
+		},
+	}, nil
+}
+
+func bitByte(b int8) byte {
+	if b > 0 {
+		return 1
+	}
+	return 0
+}
+
+func byteBit(b byte) (int8, error) {
+	switch b {
+	case 0:
+		return -1, nil
+	case 1:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("protocol: invalid bit byte %d", b)
+	}
+}
+
+// WriteFrame writes one encoded report to w.
+func WriteFrame(w io.Writer, rep core.Report) error {
+	buf, err := EncodeReport(rep)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one report from r. Returns io.EOF cleanly at end of
+// stream.
+func ReadFrame(r io.Reader) (core.Report, error) {
+	buf := make([]byte, FrameSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return core.Report{}, fmt.Errorf("protocol: truncated frame: %w", err)
+		}
+		return core.Report{}, err
+	}
+	return DecodeReport(buf)
+}

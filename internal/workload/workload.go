@@ -1,0 +1,170 @@
+// Package workload generates the synthetic populations the experiments run
+// on (DESIGN.md substitution S5): fixed-width byte items with planted heavy
+// hitters, Zipf-shaped popularity (the skew of the URL/word telemetry that
+// motivates the paper), and uniform filler, together with exact ground-truth
+// counting for error measurement.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"ldphh/internal/dist"
+)
+
+// Domain describes a universe of fixed-width byte strings. |X| = 256^ItemBytes.
+type Domain struct {
+	ItemBytes int
+}
+
+// LogSize returns log2 |X|.
+func (d Domain) LogSize() float64 { return 8 * float64(d.ItemBytes) }
+
+// Item materializes the domain element with the given ordinal (taken mod the
+// domain size) as a canonical big-endian byte string.
+func (d Domain) Item(ordinal uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], ordinal)
+	b := make([]byte, d.ItemBytes)
+	if d.ItemBytes >= 8 {
+		copy(b[d.ItemBytes-8:], buf[:])
+	} else {
+		copy(b, buf[8-d.ItemBytes:])
+	}
+	return b
+}
+
+// RandomItem draws a uniform domain element.
+func (d Domain) RandomItem(rng *rand.Rand) []byte {
+	b := make([]byte, d.ItemBytes)
+	for i := range b {
+		b[i] = byte(rng.UintN(256))
+	}
+	return b
+}
+
+// Dataset is a concrete population: one item per user plus exact counts.
+type Dataset struct {
+	Domain Domain
+	Items  [][]byte
+	truth  map[string]int
+}
+
+// N returns the number of users.
+func (ds *Dataset) N() int { return len(ds.Items) }
+
+// Count returns the exact multiplicity of x.
+func (ds *Dataset) Count(x []byte) int { return ds.truth[string(x)] }
+
+// Truth returns the exact histogram (shared map; do not mutate).
+func (ds *Dataset) Truth() map[string]int { return ds.truth }
+
+// ItemCount pairs an item with its exact multiplicity.
+type ItemCount struct {
+	Item  []byte
+	Count int
+}
+
+// TopK returns the k most frequent items in descending order (ties broken
+// by item bytes for determinism).
+func (ds *Dataset) TopK(k int) []ItemCount {
+	all := make([]ItemCount, 0, len(ds.truth))
+	for item, c := range ds.truth {
+		all = append(all, ItemCount{Item: []byte(item), Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return string(all[i].Item) < string(all[j].Item)
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// HeavierThan returns every item with multiplicity >= delta.
+func (ds *Dataset) HeavierThan(delta int) []ItemCount {
+	var out []ItemCount
+	for item, c := range ds.truth {
+		if c >= delta {
+			out = append(out, ItemCount{Item: []byte(item), Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return string(out[i].Item) < string(out[j].Item)
+	})
+	return out
+}
+
+func newDataset(d Domain, n int) *Dataset {
+	return &Dataset{Domain: d, Items: make([][]byte, 0, n), truth: make(map[string]int)}
+}
+
+func (ds *Dataset) add(item []byte) {
+	ds.Items = append(ds.Items, item)
+	ds.truth[string(item)]++
+}
+
+func (ds *Dataset) shuffle(rng *rand.Rand) {
+	rng.Shuffle(len(ds.Items), func(i, j int) {
+		ds.Items[i], ds.Items[j] = ds.Items[j], ds.Items[i]
+	})
+}
+
+// Planted builds a population of n users where fractions[i] of the users
+// hold the distinct planted item i and the rest hold uniform random filler
+// (filler items collide with each other only negligibly for ItemBytes >= 4).
+// The planted items are Domain.Item(1), Domain.Item(2), ...
+func Planted(d Domain, n int, fractions []float64, rng *rand.Rand) (*Dataset, error) {
+	total := 0.0
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("workload: planted fraction must be positive, got %v", f)
+		}
+		total += f
+	}
+	if total > 1 {
+		return nil, fmt.Errorf("workload: planted fractions sum to %v > 1", total)
+	}
+	ds := newDataset(d, n)
+	for i, f := range fractions {
+		item := d.Item(uint64(i) + 1)
+		count := int(f * float64(n))
+		for j := 0; j < count; j++ {
+			ds.add(item)
+		}
+	}
+	for len(ds.Items) < n {
+		ds.add(d.RandomItem(rng))
+	}
+	ds.shuffle(rng)
+	return ds, nil
+}
+
+// Zipf builds a population of n users drawing from a support of the given
+// size with Zipf exponent s. Rank r maps to Domain.Item(r+1).
+func Zipf(d Domain, n, support int, s float64, rng *rand.Rand) (*Dataset, error) {
+	if support < 1 || n < 1 {
+		return nil, fmt.Errorf("workload: Zipf needs positive n and support")
+	}
+	z := dist.NewZipf(support, s)
+	ds := newDataset(d, n)
+	for i := 0; i < n; i++ {
+		ds.add(d.Item(uint64(z.Sample(rng)) + 1))
+	}
+	ds.shuffle(rng)
+	return ds, nil
+}
+
+// Uniform builds a population of n users drawing uniformly from a support of
+// the given size.
+func Uniform(d Domain, n, support int, rng *rand.Rand) (*Dataset, error) {
+	return Zipf(d, n, support, 0, rng)
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDomainItem(t *testing.T) {
+	d := Domain{ItemBytes: 4}
+	if got := d.Item(0x01020304); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("Item = %v", got)
+	}
+	if got := d.Item(1); !bytes.Equal(got, []byte{0, 0, 0, 1}) {
+		t.Errorf("Item(1) = %v", got)
+	}
+	wide := Domain{ItemBytes: 12}
+	got := wide.Item(0xff)
+	if len(got) != 12 || got[11] != 0xff || got[0] != 0 {
+		t.Errorf("wide Item = %v", got)
+	}
+	if d.LogSize() != 32 {
+		t.Errorf("LogSize = %f", d.LogSize())
+	}
+}
+
+func TestPlanted(t *testing.T) {
+	d := Domain{ItemBytes: 4}
+	rng := rand.New(rand.NewPCG(1, 2))
+	ds, err := Planted(d, 10000, []float64{0.3, 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 10000 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	if got := ds.Count(d.Item(1)); got != 3000 {
+		t.Errorf("item 1 count = %d", got)
+	}
+	if got := ds.Count(d.Item(2)); got != 1000 {
+		t.Errorf("item 2 count = %d", got)
+	}
+	top := ds.TopK(2)
+	if len(top) != 2 || !bytes.Equal(top[0].Item, d.Item(1)) || top[0].Count != 3000 {
+		t.Errorf("TopK = %+v", top)
+	}
+	heavy := ds.HeavierThan(1000)
+	if len(heavy) != 2 {
+		t.Errorf("HeavierThan(1000) = %d items", len(heavy))
+	}
+	// Items must not arrive grouped: check the first 100 users are not all
+	// the same item (shuffle happened).
+	same := 0
+	for i := 1; i < 100; i++ {
+		if bytes.Equal(ds.Items[i], ds.Items[0]) {
+			same++
+		}
+	}
+	if same > 90 {
+		t.Error("dataset does not look shuffled")
+	}
+}
+
+func TestPlantedValidation(t *testing.T) {
+	d := Domain{ItemBytes: 4}
+	rng := rand.New(rand.NewPCG(3, 4))
+	if _, err := Planted(d, 100, []float64{0.7, 0.5}, rng); err == nil {
+		t.Error("fractions > 1 accepted")
+	}
+	if _, err := Planted(d, 100, []float64{0}, rng); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestZipf(t *testing.T) {
+	d := Domain{ItemBytes: 4}
+	rng := rand.New(rand.NewPCG(5, 6))
+	ds, err := Zipf(d, 50000, 1000, 1.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 50000 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	// Rank 1 must dominate rank 100 by roughly (100)^1.1.
+	c1 := ds.Count(d.Item(1))
+	c100 := ds.Count(d.Item(100))
+	if c1 < 10*c100 {
+		t.Errorf("Zipf skew missing: rank1=%d rank100=%d", c1, c100)
+	}
+	top := ds.TopK(5)
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Error("TopK not sorted")
+		}
+	}
+	if _, err := Zipf(d, 0, 10, 1, rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Domain{ItemBytes: 4}
+	rng := rand.New(rand.NewPCG(7, 8))
+	ds, err := Uniform(d, 40000, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400.0
+	for r := 1; r <= 100; r += 13 {
+		c := float64(ds.Count(d.Item(uint64(r))))
+		if math.Abs(c-want) > 6*math.Sqrt(want) {
+			t.Errorf("rank %d count %.0f, want ~%.0f", r, c, want)
+		}
+	}
+}
+
+func TestTopKBounds(t *testing.T) {
+	d := Domain{ItemBytes: 2}
+	rng := rand.New(rand.NewPCG(9, 10))
+	ds, err := Uniform(d, 100, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.TopK(100); len(got) != 5 {
+		t.Errorf("TopK over-asks returned %d", len(got))
+	}
+}

@@ -1,0 +1,229 @@
+package ldphh
+
+import (
+	"math/rand/v2"
+
+	"ldphh/internal/baseline"
+	"ldphh/internal/composition"
+	"ldphh/internal/core"
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/genprot"
+	"ldphh/internal/grouposition"
+	"ldphh/internal/ldp"
+	"ldphh/internal/lowerbound"
+	"ldphh/internal/protocol"
+	"ldphh/internal/workload"
+)
+
+// Params configures the PrivateExpanderSketch heavy-hitters protocol; see
+// core.Params for field documentation. Zero values derive the paper's
+// defaults.
+type Params = core.Params
+
+// Report is one user's single ε-LDP message.
+type Report = core.Report
+
+// Estimate is one identified item with its estimated multiplicity.
+type Estimate = core.Estimate
+
+// HeavyHitters is the PrivateExpanderSketch protocol instance
+// (Theorem 3.13).
+type HeavyHitters = core.Protocol
+
+// NewHeavyHitters constructs the protocol; all public randomness derives
+// from params.Seed.
+func NewHeavyHitters(params Params) (*HeavyHitters, error) {
+	return core.New(params)
+}
+
+// Client is the device-side half of the protocol, constructed from Params
+// alone (no server state needed).
+type Client = core.Client
+
+// NewClient derives the client side deterministically from params.
+func NewClient(params Params) (*Client, error) {
+	return core.NewClient(params)
+}
+
+// FilterHeavyHitters reduces an Identify output to the Definition 3.1 view:
+// items with estimate >= delta, truncated to the O(n/delta) list-size bound.
+func FilterHeavyHitters(est []Estimate, n int, delta float64) ([]Estimate, error) {
+	return core.HeavyHitters(est, n, delta)
+}
+
+// SmallDomain is the enumerable-domain protocol for the n > |X| regime
+// (paper's remark after Theorem 3.13).
+type SmallDomain = core.SmallDomain
+
+// NewSmallDomain constructs the enumerable-domain protocol.
+func NewSmallDomain(eps float64, itemBytes, domainSize int) (*SmallDomain, error) {
+	return core.NewSmallDomain(eps, itemBytes, domainSize)
+}
+
+// Frequency-oracle surface (Theorems 3.7 and 3.8).
+type (
+	// Hashtogram is the large-domain frequency oracle of Theorem 3.7.
+	Hashtogram = freqoracle.Hashtogram
+	// HashtogramParams configures Hashtogram.
+	HashtogramParams = freqoracle.HashtogramParams
+	// DirectHistogram is the small-domain oracle of Theorem 3.8.
+	DirectHistogram = freqoracle.DirectHistogram
+	// FrequencyOracle is the uniform experiment-facing oracle interface.
+	FrequencyOracle = freqoracle.Oracle
+)
+
+// NewHashtogram constructs the Theorem 3.7 oracle.
+func NewHashtogram(params HashtogramParams) (*Hashtogram, error) {
+	return freqoracle.NewHashtogram(params)
+}
+
+// NewDirectHistogram constructs the Theorem 3.8 oracle over an explicit
+// domain.
+func NewDirectHistogram(eps float64, domain int) (*DirectHistogram, error) {
+	return freqoracle.NewDirectHistogram(eps, domain)
+}
+
+// Baseline protocols for the Table 1 comparison.
+type (
+	// Bitstogram is the Bassily-Nissim-Stemmer-Thakurta (NIPS 2017) protocol.
+	Bitstogram = baseline.Bitstogram
+	// BitstogramParams configures Bitstogram.
+	BitstogramParams = baseline.BitstogramParams
+	// TreeHist is the prefix-tree protocol from the same paper.
+	TreeHist = baseline.TreeHist
+	// TreeHistParams configures TreeHist.
+	TreeHistParams = baseline.TreeHistParams
+	// BassilySmith is the STOC 2015 style succinct-histogram baseline.
+	BassilySmith = baseline.BassilySmith
+	// BassilySmithParams configures BassilySmith.
+	BassilySmithParams = baseline.BassilySmithParams
+)
+
+// NewTreeHist constructs the prefix-tree baseline.
+func NewTreeHist(params TreeHistParams) (*TreeHist, error) {
+	return baseline.NewTreeHist(params)
+}
+
+// NewBitstogram constructs the [3] baseline.
+func NewBitstogram(params BitstogramParams) (*Bitstogram, error) {
+	return baseline.NewBitstogram(params)
+}
+
+// NewBassilySmith constructs the [4] baseline.
+func NewBassilySmith(params BassilySmithParams) (*BassilySmith, error) {
+	return baseline.NewBassilySmith(params)
+}
+
+// Local randomizers with exactly evaluable output distributions.
+type (
+	// Randomizer is a discrete local randomizer with an evaluable output law.
+	Randomizer = ldp.Randomizer
+	// BinaryRR is ε-randomized response on a bit.
+	BinaryRR = ldp.BinaryRR
+	// KaryRR is generalized randomized response over [k].
+	KaryRR = ldp.KaryRR
+	// RAPPOR is basic one-time RAPPOR (the Chrome deployment).
+	RAPPOR = ldp.RAPPOR
+	// LeakyRR is a genuinely (ε,δ)-LDP randomizer for GenProt demos.
+	LeakyRR = ldp.LeakyRR
+)
+
+// NewBinaryRR constructs binary randomized response.
+func NewBinaryRR(eps float64) BinaryRR { return ldp.NewBinaryRR(eps) }
+
+// NewKaryRR constructs k-ary randomized response.
+func NewKaryRR(eps float64, k uint64) KaryRR { return ldp.NewKaryRR(eps, k) }
+
+// NewLeakyRR constructs the (ε,δ)-LDP leaky randomizer.
+func NewLeakyRR(eps, delta float64) LeakyRR { return ldp.NewLeakyRR(eps, delta) }
+
+// MaxPrivacyRatio exhaustively verifies Definition 1.1 for a randomizer.
+func MaxPrivacyRatio(r Randomizer) float64 { return ldp.MaxPrivacyRatio(r) }
+
+// Section 4: advanced grouposition and max-information.
+
+// AdvancedGroupEpsilon is Theorem 4.2: ε' = kε²/2 + ε·sqrt(2k·ln(1/δ)).
+func AdvancedGroupEpsilon(eps float64, k int, delta float64) float64 {
+	return grouposition.AdvancedGroupEpsilon(eps, k, delta)
+}
+
+// CentralGroupEpsilon is the central-model group privacy kε.
+func CentralGroupEpsilon(eps float64, k int) float64 {
+	return grouposition.CentralGroupEpsilon(eps, k)
+}
+
+// MaxInformation is Theorem 4.5's β-approximate max-information bound.
+func MaxInformation(eps float64, n int, beta float64) float64 {
+	return grouposition.MaxInformation(eps, n, beta)
+}
+
+// Section 5: composition for randomized response.
+
+// MTilde is the Theorem 5.1 algorithm.
+type MTilde = composition.MTilde
+
+// NewMTilde constructs M̃ for k-fold ε-randomized response at closeness β.
+func NewMTilde(k int, eps, beta float64) (*MTilde, error) {
+	return composition.New(k, eps, beta)
+}
+
+// Section 6: GenProt.
+type (
+	// GenProt is the per-user purification transform of Theorem 6.1.
+	GenProt = genprot.Transform
+	// GenProtParams configures GenProt.
+	GenProtParams = genprot.Params
+)
+
+// NewGenProt wraps an (ε,δ)-LDP randomizer into the pure 10ε-LDP report
+// protocol; public reference samples are drawn from publicRng.
+func NewGenProt(p GenProtParams, r Randomizer, publicRng *rand.Rand) (*GenProt, error) {
+	return genprot.New(p, r, publicRng)
+}
+
+// GenProtDefaultT returns the Theorem 6.1 recommended reference-sample count.
+func GenProtDefaultT(eps float64, n int, beta float64) int {
+	return genprot.DefaultT(eps, n, beta)
+}
+
+// Section 7: the lower bound.
+
+// ErrorLowerBound is Theorem 7.2's Δ ≥ (1/ε)·sqrt(n·ln(|X|/β)).
+func ErrorLowerBound(eps float64, n int, domainSize, beta float64) float64 {
+	return lowerbound.ErrorLowerBound(eps, n, domainSize, beta)
+}
+
+// Workloads and transport.
+type (
+	// Domain is a fixed-width byte-string universe.
+	Domain = workload.Domain
+	// Dataset is a concrete population with exact ground truth.
+	Dataset = workload.Dataset
+	// Server aggregates reports over TCP.
+	Server = protocol.Server
+)
+
+// PlantedDataset builds n users with the given heavy-hitter fractions.
+func PlantedDataset(d Domain, n int, fractions []float64, rng *rand.Rand) (*Dataset, error) {
+	return workload.Planted(d, n, fractions, rng)
+}
+
+// ZipfDataset builds n users with Zipf(s) popularity over the support.
+func ZipfDataset(d Domain, n, support int, s float64, rng *rand.Rand) (*Dataset, error) {
+	return workload.Zipf(d, n, support, s, rng)
+}
+
+// NewServer starts a TCP aggregation server for one collection round.
+func NewServer(params Params, addr string) (*Server, error) {
+	return protocol.NewServer(params, addr)
+}
+
+// SendReports streams reports to a server and waits for its acknowledgment.
+func SendReports(addr string, reports []Report) error {
+	return protocol.SendReports(addr, reports)
+}
+
+// RequestIdentify asks a server to identify and returns the estimates.
+func RequestIdentify(addr string) ([]Estimate, error) {
+	return protocol.RequestIdentify(addr)
+}
