@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"runtime"
+	"sync"
 	"testing"
 
 	"ldphh"
@@ -164,6 +166,108 @@ func BenchmarkTable1ServerTime_BassilySmith(b *testing.B) {
 	}
 	b.ReportMetric(float64(benchN), "users")
 	b.ReportMetric(float64(params.DomainSize), "domain")
+}
+
+// --- Ingestion scaling (server absorption throughput) ---
+
+// ingestParams keeps the per-coordinate report domain small (Y = 4 =>
+// 16384 cells per coordinate) so shard setup and merge stay cheap relative
+// to the absorb loop — the regime a high-throughput aggregator runs in.
+func ingestParams() core.Params {
+	return core.Params{Eps: benchEps, N: benchN, ItemBytes: 4, Y: 4, Seed: 42}
+}
+
+// ingestReports synthesizes a large report stream once per benchmark run by
+// cycling the planted dataset over fresh user indices (absorption cost is
+// identical for any valid report, so cycling does not skew the measurement).
+func ingestReports(b *testing.B, total int) []core.Report {
+	b.Helper()
+	ds := benchDataset(b)
+	proto, err := core.New(ingestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	reports := make([]core.Report, total)
+	for i := range reports {
+		reports[i], err = proto.Report(ds.Items[i%ds.N()], i, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reports
+}
+
+// BenchmarkAbsorbParallel measures batch ingestion across shard counts.
+// shards=1 is the single-mutex path every report serialized through before
+// this subsystem existed; higher counts absorb into per-worker accumulators
+// merged once per chunk. With GOMAXPROCS >= 4 the sharded path wins because
+// the absorb loop parallelizes while the merge cost is a fixed
+// O(shards·state); on a single-core runner sharding can only lose (no
+// parallelism to buy), which the Mreports_per_s metric makes visible either
+// way.
+func BenchmarkAbsorbParallel(b *testing.B) {
+	const total = 1 << 18
+	reports := ingestReports(b, total)
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, shards := range counts {
+		if shards < 1 || seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards_%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p, err := core.New(ingestParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := p.AbsorbBatch(reports, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreports_per_s")
+		})
+	}
+}
+
+// BenchmarkAbsorbContended is the adversarial reference: GOMAXPROCS
+// goroutines hammering Protocol.Absorb directly, all contending on the one
+// protocol mutex with its cache-line ping-pong — exactly what the TCP
+// server did per frame before per-connection shards. Compare against
+// BenchmarkAbsorbParallel/shards_N.
+func BenchmarkAbsorbContended(b *testing.B) {
+	const total = 1 << 18
+	reports := ingestReports(b, total)
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := core.New(ingestParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		chunk := (total + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, total)
+			wg.Add(1)
+			go func(batch []core.Report) {
+				defer wg.Done()
+				for _, rep := range batch {
+					if err := p.Absorb(rep); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(reports[lo:hi])
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreports_per_s")
 }
 
 // --- User time and user memory (Table 1 rows 2 and 4) ---

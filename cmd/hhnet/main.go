@@ -1,18 +1,27 @@
 // Command hhnet demonstrates the distributed deployment: it starts a TCP
 // aggregation server, simulates a fleet of user processes that each send one
 // ε-LDP report over the wire, then triggers identification and prints the
-// result.
+// result. The server ingests every connection through its own shard
+// accumulator, so fleets never contend on the protocol mutex per report.
+//
+// By default (-shards = GOMAXPROCS) it additionally replays the same
+// reports into a fresh in-process protocol through the single-mutex Absorb
+// path and through AbsorbBatch at the requested shard count, printing both
+// ingestion throughputs and verifying the sharded round identifies the
+// identical heavy hitters; -shards 0 skips that comparison.
 //
 // Usage:
 //
-//	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0]
+//	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0] [-shards GOMAXPROCS]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -27,6 +36,8 @@ var (
 	addr   = flag.String("addr", "127.0.0.1:0", "listen address")
 	eps    = flag.Float64("eps", 4, "privacy budget")
 	seed   = flag.Uint64("seed", 1, "seed")
+	shards = flag.Int("shards", runtime.GOMAXPROCS(0),
+		"shard count for the local ingestion comparison (0 disables it)")
 )
 
 func main() {
@@ -41,15 +52,16 @@ func main() {
 	ds, err := workload.Planted(dom, *n, []float64{0.3, 0.2}, rand.New(rand.NewPCG(*seed, 2)))
 	fatal(err)
 
-	start := time.Now()
+	// Client phase: each fleet derives its own client purely from Params —
+	// devices never see server state, only the shared seed — and prepares
+	// its batch before the timed network round.
+	batches := make([][]core.Report, *fleets)
 	var wg sync.WaitGroup
 	errCh := make(chan error, *fleets)
 	for f := 0; f < *fleets; f++ {
 		wg.Add(1)
 		go func(f int) {
 			defer wg.Done()
-			// Each fleet derives its own client purely from Params — devices
-			// never see server state, only the shared seed.
 			client, err := core.NewClient(params)
 			if err != nil {
 				errCh <- err
@@ -65,14 +77,24 @@ func main() {
 				}
 				batch = append(batch, rep)
 			}
-			errCh <- protocol.SendReports(srv.Addr(), batch)
+			batches[f] = batch
 		}(f)
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		fatal(err)
+	drain(errCh)
+
+	// Network phase: stream every batch concurrently; the server absorbs
+	// each connection into its own shard.
+	start := time.Now()
+	for f := 0; f < *fleets; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			errCh <- protocol.SendReports(srv.Addr(), batches[f])
+		}(f)
 	}
+	wg.Wait()
+	drain(errCh)
 	fmt.Printf("fleet of %d connections delivered %d reports in %v (%d bytes each)\n",
 		*fleets, srv.Absorbed(), time.Since(start).Round(time.Millisecond), protocol.FrameSize)
 
@@ -84,6 +106,62 @@ func main() {
 			break
 		}
 		fmt.Printf("  %x  est=%8.0f  true=%d\n", e.Item, e.Count, ds.Count(e.Item))
+	}
+
+	if *shards > 0 {
+		localComparison(params, batches, est)
+	}
+}
+
+// localComparison replays the collected reports into fresh in-process
+// protocols: once through the serialized single-mutex Absorb path and once
+// through AbsorbBatch at the configured shard count, then checks the
+// sharded round reproduces the network round's identification bit for bit
+// (counter merges are exact, so absorption order cannot matter).
+func localComparison(params core.Params, batches [][]core.Report, netEst []core.Estimate) {
+	var reports []core.Report
+	for _, b := range batches {
+		reports = append(reports, b...)
+	}
+
+	serial, err := core.New(params)
+	fatal(err)
+	t0 := time.Now()
+	fatal(serial.AbsorbBatch(reports, 1))
+	serialDur := time.Since(t0)
+
+	sharded, err := core.New(params)
+	fatal(err)
+	t1 := time.Now()
+	fatal(sharded.AbsorbBatch(reports, *shards))
+	shardedDur := time.Since(t1)
+
+	rate := func(d time.Duration) float64 {
+		return float64(len(reports)) / d.Seconds() / 1e6
+	}
+	fmt.Printf("local ingestion of %d reports: single-mutex %v (%.1f M/s), %d shards %v (%.1f M/s)\n",
+		len(reports), serialDur.Round(time.Microsecond), rate(serialDur),
+		*shards, shardedDur.Round(time.Microsecond), rate(shardedDur))
+
+	est, err := sharded.Identify()
+	fatal(err)
+	if len(est) != len(netEst) {
+		fatal(fmt.Errorf("sharded round identified %d items, network round %d", len(est), len(netEst)))
+	}
+	for i := range est {
+		// The wire protocol truncates counts to integers; compare at that
+		// granularity.
+		if !bytes.Equal(est[i].Item, netEst[i].Item) || int64(est[i].Count) != int64(netEst[i].Count) {
+			fatal(fmt.Errorf("sharded round diverged at rank %d: %x/%.0f vs %x/%.0f",
+				i, est[i].Item, est[i].Count, netEst[i].Item, netEst[i].Count))
+		}
+	}
+	fmt.Printf("sharded round identification matches the network round (%d items)\n", len(est))
+}
+
+func drain(errCh chan error) {
+	for len(errCh) > 0 {
+		fatal(<-errCh)
 	}
 }
 

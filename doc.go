@@ -21,8 +21,13 @@
 //   - Section 6 — GenProt, the approximate-to-pure LDP purification.
 //   - Section 7 — the anti-concentration lower bound and its empirical
 //     tightness harness.
+//   - Transport — a TCP aggregation server with sharded concurrent
+//     ingestion: each connection absorbs into a private accumulator shard
+//     and merges once per batch, so heavy fleets never serialize behind a
+//     per-report lock.
 //
-// Quickstart:
+// Quickstart (go build ./... && go test ./... both work from a clean
+// checkout; the module has no dependencies outside the standard library):
 //
 //	params := ldphh.Params{Eps: 2, N: 100000, ItemBytes: 8, Seed: 1}
 //	hh, err := ldphh.NewHeavyHitters(params)
@@ -32,6 +37,11 @@
 //	err = hh.Absorb(rep)
 //	// ... and identifies the heavy hitters with frequency estimates:
 //	est, err := hh.Identify()
+//
+// High-throughput ingestion replaces the Absorb loop with one batch call
+// that fans out across shard accumulators and merges them back exactly:
+//
+//	err = hh.AbsorbBatch(reports, runtime.GOMAXPROCS(0))
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record of every table row and theorem.

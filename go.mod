@@ -1,0 +1,3 @@
+module ldphh
+
+go 1.22

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ldphh/internal/freqoracle"
 	"ldphh/internal/hashing"
@@ -31,18 +32,27 @@ type Estimate struct {
 // Protocol is the PrivateExpanderSketch server. Construct with New, have
 // each user call Report (the client-side computation), Absorb every report,
 // then call Identify once.
+//
+// Absorb, Merge, AbsorbBatch and Identify are safe for concurrent use: a
+// single mutex guards the aggregation state. That mutex is the scalability
+// bottleneck Absorb callers contend on; high-throughput ingestion should
+// absorb into per-worker NewAccumulator shards (no locking) and Merge them,
+// or hand whole batches to AbsorbBatch.
 type Protocol struct {
 	p        Params
 	code     *listrec.Code
 	g        hashing.KWise
 	fold     hashing.Fingerprinter
 	partHash hashing.KWise // user index -> coordinate group (public partition)
-	direct   []*freqoracle.DirectHistogram
-	conf     *freqoracle.Hashtogram
 	zbits    int
-	groupN   []int
-	absorbed int
 	rng      *rand.Rand // drives decode-side cluster refinement only
+
+	mu        sync.Mutex // guards everything below
+	direct    []*freqoracle.DirectHistogram
+	conf      *freqoracle.Hashtogram
+	groupN    []int
+	absorbed  int
+	finalized bool
 }
 
 // New constructs the protocol and draws all public randomness from
@@ -140,8 +150,15 @@ func (pr *Protocol) Report(x []byte, userIdx int, rng *rand.Rand) (Report, error
 	}, nil
 }
 
-// Absorb folds one user report into the server state.
+// Absorb folds one user report into the server state. It serializes behind
+// the protocol's single mutex; for contention-free parallel ingestion use
+// NewAccumulator/Merge or AbsorbBatch.
 func (pr *Protocol) Absorb(rep Report) error {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.finalized {
+		return fmt.Errorf("core: Absorb after Identify")
+	}
 	if rep.M < 0 || rep.M >= pr.p.M {
 		return fmt.Errorf("core: report group %d out of range", rep.M)
 	}
@@ -156,6 +173,171 @@ func (pr *Protocol) Absorb(rep Report) error {
 	return nil
 }
 
+// Accumulator is shard-local absorption state: a private copy of the
+// protocol's counters sharing its (read-only) public randomness. Each
+// ingestion worker owns one shard and absorbs into it with no
+// synchronization at all; shards fold back into the protocol with
+// Protocol.Merge, or into each other with Accumulator.Merge for
+// tree-structured aggregation. Because every counter is an exact small
+// integer in float64, absorption order cannot change any estimate: sharded
+// and sequential ingestion produce bit-identical Identify output.
+type Accumulator struct {
+	m        int
+	direct   []*freqoracle.DirectHistogram
+	conf     *freqoracle.Hashtogram
+	groupN   []int
+	absorbed int
+}
+
+// NewAccumulator returns an empty shard for this protocol. Shards cost one
+// zeroed copy of the counter state, so size the shard count to the ingestion
+// worker pool, not to the report count.
+func (pr *Protocol) NewAccumulator() *Accumulator {
+	direct := make([]*freqoracle.DirectHistogram, pr.p.M)
+	for m := range direct {
+		direct[m] = pr.direct[m].NewAccumulator()
+	}
+	return &Accumulator{
+		m:      pr.p.M,
+		direct: direct,
+		conf:   pr.conf.NewAccumulator(),
+		groupN: make([]int, pr.p.M),
+	}
+}
+
+// Absorb folds one user report into the shard. It performs the same
+// validation as Protocol.Absorb but takes no locks; a shard must be used by
+// one goroutine at a time.
+func (a *Accumulator) Absorb(rep Report) error {
+	if rep.M < 0 || rep.M >= a.m {
+		return fmt.Errorf("core: report group %d out of range", rep.M)
+	}
+	if err := a.direct[rep.M].Absorb(rep.Dir); err != nil {
+		return err
+	}
+	if err := a.conf.Absorb(rep.Conf); err != nil {
+		return err
+	}
+	a.groupN[rep.M]++
+	a.absorbed++
+	return nil
+}
+
+// Absorbed returns the number of reports held by the shard.
+func (a *Accumulator) Absorbed() int { return a.absorbed }
+
+// Merge folds another shard into this one (tree aggregation). Neither shard
+// may be in concurrent use.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if a.m != other.m {
+		return fmt.Errorf("core: Merge of differently-shaped accumulators")
+	}
+	for m := range a.direct {
+		if err := a.direct[m].Merge(other.direct[m]); err != nil {
+			return err
+		}
+	}
+	if err := a.conf.Merge(other.conf); err != nil {
+		return err
+	}
+	for m, n := range other.groupN {
+		a.groupN[m] += n
+	}
+	a.absorbed += other.absorbed
+	return nil
+}
+
+// Merge folds a shard into the server state under the protocol mutex: one
+// lock acquisition per batch instead of one per report. The shard is
+// logically consumed; reusing it would double-count its reports.
+func (pr *Protocol) Merge(a *Accumulator) error {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.finalized {
+		return fmt.Errorf("core: Merge after Identify")
+	}
+	if a.m != pr.p.M {
+		return fmt.Errorf("core: Merge of differently-shaped accumulator")
+	}
+	for m := range pr.direct {
+		if err := pr.direct[m].Merge(a.direct[m]); err != nil {
+			return err
+		}
+	}
+	if err := pr.conf.Merge(a.conf); err != nil {
+		return err
+	}
+	for m, n := range a.groupN {
+		pr.groupN[m] += n
+	}
+	pr.absorbed += a.absorbed
+	return nil
+}
+
+// AbsorbBatch ingests a report batch across the given number of shards.
+// shards <= 1 is the single-mutex path (every report serializes through
+// Absorb — the baseline BenchmarkAbsorbParallel compares against); shards
+// >= 2 splits the batch into contiguous chunks absorbed by concurrent
+// workers into private accumulators, merged into the protocol as each
+// worker finishes. On an error ingestion stops promptly in every shard and
+// the first error observed is returned; exactly which reports of the batch
+// were absorbed at that point is unspecified (it depends on the shard
+// interleaving), so treat the round as poisoned and discard the protocol
+// rather than Identify after a failed batch.
+func (pr *Protocol) AbsorbBatch(reports []Report, shards int) error {
+	if shards > len(reports) {
+		shards = len(reports)
+	}
+	if shards <= 1 {
+		for _, rep := range reports {
+			if err := pr.Absorb(rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	errs := make([]error, shards)
+	chunk := (len(reports) + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		if lo >= len(reports) {
+			break // ceil division can exhaust the batch before the last shard
+		}
+		hi := lo + chunk
+		if hi > len(reports) {
+			hi = len(reports)
+		}
+		wg.Add(1)
+		go func(s int, batch []Report) {
+			defer wg.Done()
+			acc := pr.NewAccumulator()
+			for _, rep := range batch {
+				if failed.Load() {
+					return // another shard already poisoned the round
+				}
+				if err := acc.Absorb(rep); err != nil {
+					errs[s] = err
+					failed.Store(true)
+					return
+				}
+			}
+			if err := pr.Merge(acc); err != nil && errs[s] == nil {
+				errs[s] = err
+				failed.Store(true)
+			}
+		}(s, reports[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // listEntry is a candidate (y, z) with its estimate, used for top-cap
 // admission.
 type listEntry struct {
@@ -165,8 +347,14 @@ type listEntry struct {
 
 // Identify runs the server-side reconstruction (steps 2-6 of Algorithm 1)
 // and returns the estimates sorted by decreasing count. It finalizes the
-// protocol; further Absorb calls fail.
+// protocol; further Absorb and Merge calls fail.
 func (pr *Protocol) Identify() ([]Estimate, error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.finalized {
+		return nil, fmt.Errorf("core: Identify already ran")
+	}
+	pr.finalized = true
 	// Finalize the per-coordinate oracles. Each holds an O(cells) buffer, so
 	// run sequentially when cells is large to bound peak memory, in parallel
 	// otherwise.
@@ -283,10 +471,16 @@ func (pr *Protocol) EstimateFrequency(x []byte) float64 {
 }
 
 // TotalReports returns the number of absorbed reports.
-func (pr *Protocol) TotalReports() int { return pr.absorbed }
+func (pr *Protocol) TotalReports() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.absorbed
+}
 
 // SketchBytes returns the resident server memory across both phases.
 func (pr *Protocol) SketchBytes() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
 	total := pr.conf.SketchBytes()
 	for _, d := range pr.direct {
 		total += d.SketchBytes()

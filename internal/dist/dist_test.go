@@ -1,0 +1,288 @@
+package dist
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// sortedQuantileOracle is the reference implementation the property tests
+// compare against: explicit sort, explicit rank interpolation.
+func sortedQuantileOracle(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i == len(s)-1 {
+		return s[i]
+	}
+	return s[i] + (pos-float64(i))*(s[i+1]-s[i])
+}
+
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		orig := append([]float64(nil), xs...)
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1, rng.Float64()} {
+			got := Quantile(xs, q)
+			want := sortedQuantileOracle(xs, q)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: Quantile(%v-sample, %v) = %v, oracle %v", trial, n, q, got, want)
+			}
+		}
+		for i := range xs {
+			if xs[i] != orig[i] {
+				t.Fatal("Quantile mutated its input")
+			}
+		}
+	}
+}
+
+func TestMedianAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*2000 - 1000
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		var want float64
+		if n%2 == 1 {
+			want = s[n/2]
+		} else {
+			want = (s[n/2-1] + s[n/2]) / 2
+		}
+		if got := Median(xs); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: Median = %v, oracle %v (n=%d)", trial, got, want, n)
+		}
+	}
+}
+
+func TestMeanAndQuantileExtremes(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); math.Abs(got-2.8) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want min", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("Quantile(1) = %v, want max", got)
+	}
+}
+
+// TestAliasFrequencies draws a large sample and checks each index's
+// empirical frequency against its expected probability within a chi-square
+// style tolerance (4 standard deviations of the binomial count).
+func TestAliasFrequencies(t *testing.T) {
+	weights := []float64{5, 0.5, 2, 0, 1.5, 1}
+	a := NewAlias(weights)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, w := range weights {
+		p := w / sum
+		mean := p * draws
+		sd := math.Sqrt(draws * p * (1 - p))
+		if math.Abs(float64(counts[i])-mean) > 4*sd+1 {
+			t.Errorf("index %d: count %d, expected %.0f ± %.0f", i, counts[i], mean, 4*sd)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[3])
+	}
+	// The table's own probability report must match the weights too.
+	for i, w := range weights {
+		if got, want := a.Prob(i), w/sum; math.Abs(got-want) > 1e-9 {
+			t.Errorf("Prob(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfFrequencies(t *testing.T) {
+	const support = 8
+	const s = 1.2
+	z := NewZipf(support, s)
+	norm := 0.0
+	for r := 1; r <= support; r++ {
+		norm += math.Pow(float64(r), -s)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	const draws = 100000
+	counts := make([]int, support)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for r := 0; r < support; r++ {
+		p := math.Pow(float64(r+1), -s) / norm
+		mean := p * draws
+		sd := math.Sqrt(draws * p * (1 - p))
+		if math.Abs(float64(counts[r])-mean) > 4*sd+1 {
+			t.Errorf("rank %d: count %d, expected %.0f ± %.0f", r, counts[r], mean, 4*sd)
+		}
+	}
+	// s = 0 must be exactly uniform in expectation (workload.Uniform).
+	u := NewZipf(4, 0)
+	uc := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		uc[u.Sample(rng)]++
+	}
+	for r, c := range uc {
+		if math.Abs(float64(c)-10000) > 4*math.Sqrt(40000*0.25*0.75)+1 {
+			t.Errorf("uniform rank %d count %d", r, c)
+		}
+	}
+}
+
+func TestTVDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	randDist := func(n int) []float64 {
+		p := make([]float64, n)
+		sum := 0.0
+		for i := range p {
+			p[i] = rng.Float64()
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		return p
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.IntN(20)
+		p, q := randDist(n), randDist(n)
+		d := TVDist(p, q)
+		if d < 0 || d > 1 {
+			t.Fatalf("TVDist outside [0,1]: %v", d)
+		}
+		if sym := TVDist(q, p); math.Abs(d-sym) > 1e-12 {
+			t.Fatalf("TVDist asymmetric: %v vs %v", d, sym)
+		}
+		if self := TVDist(p, p); self != 0 {
+			t.Fatalf("TVDist(p,p) = %v", self)
+		}
+	}
+	// Disjoint supports are at distance exactly 1.
+	if d := TVDist([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("disjoint TVDist = %v", d)
+	}
+}
+
+func TestBinomialTailGE(t *testing.T) {
+	// Against a directly computed PMF sum at small n.
+	n, p := 12, 0.3
+	for k := 0; k <= n+1; k++ {
+		want := 0.0
+		for i := k; i <= n; i++ {
+			want += math.Exp(logChoose(n, i)) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+		}
+		if got := BinomialTailGE(n, k, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("tail(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if got := BinomialTailGE(10, 0, 0.5); got != 1 {
+		t.Errorf("tail at k=0 = %v", got)
+	}
+	if got := BinomialTailGE(10, 11, 0.5); got != 0 {
+		t.Errorf("tail past n = %v", got)
+	}
+	// Theorem A.4: the anti-concentration bound must actually lower-bound
+	// the exact tail in its validity window.
+	nn, pp := 2000, 0.3
+	np := float64(nn) * pp
+	for _, tt := range []float64{math.Sqrt(3*np) + 1, 60, 90} {
+		if tt > np/2 {
+			continue
+		}
+		exact := BinomialTailGE(nn, int(math.Ceil(np+tt)), pp)
+		bound := BinomialAntiConcentration(nn, pp, tt)
+		if exact < bound {
+			t.Errorf("t=%v: exact tail %v below Theorem A.4 bound %v", tt, exact, bound)
+		}
+	}
+}
+
+func TestHammingShell(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	hamming := func(a, b []uint64) int {
+		d := 0
+		for i := range a {
+			d += bits.OnesCount64(a[i] ^ b[i])
+		}
+		return d
+	}
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.IntN(200)
+		words := (k + 63) / 64
+		x := make([]uint64, words)
+		for i := range x {
+			x[i] = rng.Uint64()
+		}
+		// Mask tail bits beyond k so distances stay within the k-bit cube.
+		if k%64 != 0 {
+			x[words-1] &= (1 << uint(k%64)) - 1
+		}
+		orig := append([]uint64(nil), x...)
+		d := rng.IntN(k + 1)
+		y := HammingShell(x, k, d, rng)
+		if got := hamming(x, y); got != d {
+			t.Fatalf("trial %d: distance %d, want %d (k=%d)", trial, got, d, k)
+		}
+		for i := range x {
+			if x[i] != orig[i] {
+				t.Fatal("HammingShell mutated its input")
+			}
+		}
+		// No flipped bit may land outside [0, k).
+		for i := range y {
+			lim := k - 64*i
+			if lim >= 64 {
+				continue
+			}
+			mask := ^uint64(0)
+			if lim > 0 {
+				mask = ^((1 << uint(lim)) - 1)
+			}
+			if (x[i]^y[i])&mask != 0 {
+				t.Fatalf("trial %d: bit flipped beyond position k=%d", trial, k)
+			}
+		}
+	}
+	// Uniformity over a tiny shell: k=4, d=2 has C(4,2)=6 equiprobable
+	// outcomes.
+	counts := map[uint64]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		y := HammingShell([]uint64{0}, 4, 2, rng)
+		counts[y[0]]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("k=4,d=2 shell produced %d distinct points, want 6", len(counts))
+	}
+	for pt, c := range counts {
+		mean := float64(draws) / 6
+		sd := math.Sqrt(draws * (1.0 / 6) * (5.0 / 6))
+		if math.Abs(float64(c)-mean) > 4*sd {
+			t.Errorf("shell point %04b: count %d, expected %.0f ± %.0f", pt, c, mean, 4*sd)
+		}
+	}
+}

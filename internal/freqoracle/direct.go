@@ -77,7 +77,23 @@ func (d *DirectHistogram) Report(x uint64, rng *rand.Rand) (DirectReport, error)
 	return DirectReport{Col: uint32(col), Bit: int8(bit)}, nil
 }
 
-// Absorb folds one report into the accumulator.
+// NewAccumulator returns an empty shard with this oracle's parameters and
+// private counters. Shards absorb reports independently — one per ingestion
+// worker, no locking — and fold back into the parent (or each other) with
+// Merge when their batches end.
+func (d *DirectHistogram) NewAccumulator() *DirectHistogram {
+	return &DirectHistogram{
+		eps:    d.eps,
+		domain: d.domain,
+		t:      d.t,
+		rand:   d.rand,
+		acc:    make([]float64, d.t),
+	}
+}
+
+// Absorb folds one report into the accumulator. Not safe for concurrent
+// use; callers that parallelize should absorb into per-worker
+// NewAccumulator shards and Merge.
 func (d *DirectHistogram) Absorb(rep DirectReport) error {
 	if d.finalized {
 		return fmt.Errorf("freqoracle: Absorb after Finalize")

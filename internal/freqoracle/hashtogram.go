@@ -139,8 +139,33 @@ func (h *Hashtogram) Report(x []byte, userIdx int, rng *rand.Rand) HashtogramRep
 	return HashtogramReport{Row: row, Col: uint32(col), Bit: int8(bit)}
 }
 
+// NewAccumulator returns an empty shard that absorbs reports for this
+// sketch without touching its state: the shard shares the sketch's public
+// randomness (hash families are read-only after construction) but owns
+// private counters, so any number of shards can Absorb concurrently — one
+// per ingestion worker — and be folded back with Merge when their batches
+// end. This is the per-shard half of the concurrent ingestion path; the
+// sketch itself still serializes Absorb and Merge callers.
+func (h *Hashtogram) NewAccumulator() *Hashtogram {
+	a := &Hashtogram{
+		p:         h.p,
+		rowHash:   h.rowHash,
+		hs:        h.hs,
+		signs:     h.signs,
+		fold:      h.fold,
+		rand:      h.rand,
+		acc:       make([][]float64, h.p.Rows),
+		rowCounts: make([]int, h.p.Rows),
+	}
+	for r := range a.acc {
+		a.acc[r] = make([]float64, h.p.T)
+	}
+	return a
+}
+
 // Absorb folds one report into the sketch. Not safe for concurrent use;
-// callers that parallelize should shard reports by row and merge.
+// callers that parallelize should absorb into per-worker NewAccumulator
+// shards and Merge.
 func (h *Hashtogram) Absorb(rep HashtogramReport) error {
 	if h.finalized {
 		return fmt.Errorf("freqoracle: Absorb after Finalize")

@@ -1,0 +1,86 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusDir holds the checked-in seed corpus for FuzzDecodeReport. The Go
+// fuzzer picks these up automatically when run with -fuzz, and
+// TestDecodeReportCorpus replays them deterministically in every plain
+// `go test` run so promoted regressions stay covered without the fuzzer.
+const corpusDir = "testdata/fuzz/FuzzDecodeReport"
+
+// readCorpusEntry parses one file in Go's `go test fuzz v1` corpus format:
+// a version header line followed by one []byte("...") literal per fuzz
+// argument (FuzzDecodeReport takes exactly one).
+func readCorpusEntry(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("corpus file %s: want version header plus one value line, got %d lines", path, len(lines))
+	}
+	lit := lines[1]
+	const prefix, suffix = `[]byte(`, `)`
+	if !strings.HasPrefix(lit, prefix) || !strings.HasSuffix(lit, suffix) {
+		return nil, fmt.Errorf("corpus file %s: value %q is not a []byte literal", path, lit)
+	}
+	s, err := strconv.Unquote(lit[len(prefix) : len(lit)-len(suffix)])
+	if err != nil {
+		return nil, fmt.Errorf("corpus file %s: %w", path, err)
+	}
+	return []byte(s), nil
+}
+
+// TestDecodeReportCorpus replays the seed corpus through the same invariant
+// FuzzDecodeReport enforces: the decoder never panics, and any frame it
+// accepts re-encodes to the identical bytes (canonical form).
+func TestDecodeReportCorpus(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("reading seed corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus is empty")
+	}
+	// Guard against the corpus degenerating into rejects only: at least one
+	// entry must exercise the canonical-form half of the invariant. Counted
+	// in the parent so -run filters over the subtests cannot skew it.
+	accepted := 0
+	for _, entry := range entries {
+		if entry.IsDir() {
+			continue
+		}
+		data, err := readCorpusEntry(filepath.Join(corpusDir, entry.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeReport(data); err == nil {
+			accepted++
+		}
+		t.Run(entry.Name(), func(t *testing.T) {
+			rep, err := DecodeReport(data)
+			if err != nil {
+				return // rejected input; not panicking is the invariant
+			}
+			out, err := EncodeReport(rep)
+			if err != nil {
+				t.Fatalf("decoded frame failed to re-encode: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("decode/encode not canonical: %x -> %x", data, out)
+			}
+		})
+	}
+	if accepted == 0 {
+		t.Error("no corpus entry decodes successfully; canonical-form invariant untested")
+	}
+}

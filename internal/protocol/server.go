@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
 	"ldphh/internal/core"
@@ -20,17 +21,34 @@ const (
 
 // Server aggregates LDP reports over TCP into a PrivateExpanderSketch
 // protocol instance. One Server serves one collection round.
+//
+// Ingestion is sharded: a report connection that proves to be bulk (more
+// than shardAfter frames) decodes and absorbs in its own goroutine into a
+// private core.Accumulator, so concurrent senders never contend on the
+// protocol's mutex per report. The shard is merged into the protocol — one
+// lock acquisition — when the stream ends or every mergeEvery frames,
+// whichever comes first. Short streams (a device delivering its single
+// report) skip shard setup entirely and take the locked Absorb path, which
+// is cheaper than zeroing a sketch-sized accumulator for a handful of
+// frames. All round state (absorbed count, round-closed flag) lives in the
+// protocol itself.
 type Server struct {
 	proto *core.Protocol
-
-	mu       sync.Mutex
-	absorbed int
-	done     bool
 
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
+
+const (
+	// shardAfter is the stream length at which a connection graduates from
+	// per-report locked absorption to its own shard accumulator.
+	shardAfter = 256
+	// mergeEvery bounds how many frames a connection shard buffers before
+	// folding into the protocol, so Absorbed() tracks long-lived streams
+	// and an aborted connection loses at most one partial window.
+	mergeEvery = 1 << 16
+)
 
 // NewServer constructs a server around a fresh protocol with the given
 // parameters and starts listening on addr (use "127.0.0.1:0" for tests).
@@ -56,11 +74,7 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Protocol() *core.Protocol { return s.proto }
 
 // Absorbed returns the number of reports accepted so far.
-func (s *Server) Absorbed() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.absorbed
-}
+func (s *Server) Absorbed() int { return s.proto.TotalReports() }
 
 // Close stops accepting and waits for in-flight connections.
 func (s *Server) Close() error {
@@ -124,39 +138,54 @@ func (s *Server) handle(conn net.Conn) error {
 const ackByte = 0x06
 
 func (s *Server) handleReports(r io.Reader) error {
-	for {
+	var acc *core.Accumulator
+	frames := 0
+	var streamErr error
+	for streamErr == nil {
 		rep, err := ReadFrame(r)
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
+			if !errors.Is(err, io.EOF) {
+				streamErr = err
 			}
-			return err
+			break
 		}
-		s.mu.Lock()
-		if s.done {
-			s.mu.Unlock()
-			return errors.New("protocol: collection round already identified")
+		if acc == nil {
+			if frames < shardAfter {
+				// Short-stream path: locked absorption, no shard setup.
+				frames++
+				if err := s.proto.Absorb(rep); err != nil {
+					streamErr = err
+				}
+				continue
+			}
+			acc = s.proto.NewAccumulator()
 		}
-		err = s.proto.Absorb(rep)
-		if err == nil {
-			s.absorbed++
+		if err := acc.Absorb(rep); err != nil {
+			streamErr = err
+			break
 		}
-		s.mu.Unlock()
-		if err != nil {
+		if acc.Absorbed() >= mergeEvery {
+			if err := s.proto.Merge(acc); err != nil {
+				return err
+			}
+			acc = s.proto.NewAccumulator()
+		}
+	}
+	// Merge the valid prefix even when the stream went bad mid-flight —
+	// every frame that decoded and validated counts, exactly as under the
+	// per-report lock.
+	if acc != nil && acc.Absorbed() > 0 {
+		if err := s.proto.Merge(acc); err != nil {
 			return err
 		}
 	}
+	return streamErr
 }
 
 func (s *Server) handleIdentify(conn net.Conn) error {
-	s.mu.Lock()
-	if s.done {
-		s.mu.Unlock()
-		return errors.New("protocol: already identified")
-	}
-	s.done = true
+	// The protocol finalizes itself: a second identify (or any absorb or
+	// merge racing this call) fails under its mutex.
 	est, err := s.proto.Identify()
-	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -235,6 +264,12 @@ func RequestIdentify(addr string) ([]core.Estimate, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("protocol: reading identify reply: %w", err)
+	}
+	// The server answers failures with a textual "ERR ...\n" line instead of
+	// an estimate count; relay its message rather than misparsing the bytes.
+	if string(hdr[:]) == "ERR " {
+		msg, _ := br.ReadString('\n')
+		return nil, fmt.Errorf("protocol: server rejected identify: %s", strings.TrimSpace(msg))
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	const maxItems = 1 << 24
