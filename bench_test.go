@@ -233,6 +233,58 @@ func BenchmarkAbsorbParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkIdentify measures the server-side reconstruction (Algorithm 1
+// steps 2-6) across Identify worker-pool sizes {1, 4, GOMAXPROCS}. The
+// 1-worker case is exactly the serial pipeline (parRange inlines the loop,
+// sortEstimates falls back to sort.Slice), so workers_1 is the regression
+// guard for pool overhead; higher counts buy wall-clock on multi-core
+// runners while returning bit-identical output (enforced by
+// core.TestIdentifyWorkerDeterminism). Absorption is untimed: each
+// iteration rebuilds and refills a fresh protocol under StopTimer so the
+// measured region is Identify alone.
+func BenchmarkIdentify(b *testing.B) {
+	ds := benchDataset(b)
+	proto, err := core.New(pesParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	reports := make([]core.Report, ds.N())
+	for i, x := range ds.Items {
+		reports[i], err = proto.Report(x, i, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if workers < 1 || seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				params := pesParams()
+				params.Workers = workers
+				p, err := core.New(params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.AbsorbBatch(reports, runtime.GOMAXPROCS(0)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := p.Identify(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ds.N()), "users")
+		})
+	}
+}
+
 // BenchmarkAbsorbContended is the adversarial reference: GOMAXPROCS
 // goroutines hammering Protocol.Absorb directly, all contending on the one
 // protocol mutex with its cache-line ping-pong — exactly what the TCP

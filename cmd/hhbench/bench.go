@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"ldphh/internal/baseline"
+	"ldphh/internal/core"
+	"ldphh/internal/workload"
+)
+
+// benchConfig parameterizes one measured heavy-hitters round; it mirrors
+// the command-line flags so tests can drive the round without a subprocess.
+type benchConfig struct {
+	N         int
+	Eps       float64
+	ItemBytes int
+	Protocol  string // pes | bitstogram | treehist
+	Workload  string // planted | zipf | uniform
+	ZipfS     float64
+	Support   int
+	Seed      uint64
+	Y         int // per-coordinate hash range (pes)
+	Workers   int // Identify worker-pool size (pes; 0 = GOMAXPROCS)
+}
+
+// topRow is one of the leading output estimates with its ground truth.
+type topRow struct {
+	Item string  `json:"item"`
+	Est  float64 `json:"estimate"`
+	True int     `json:"true"`
+}
+
+// benchResult is the measured round, JSON-shaped for -json consumers.
+type benchResult struct {
+	Protocol   string   `json:"protocol"`
+	N          int      `json:"n"`
+	Eps        float64  `json:"eps"`
+	ItemBytes  int      `json:"item_bytes"`
+	Workload   string   `json:"workload"`
+	Threshold  float64  `json:"threshold"`
+	Promised   int      `json:"promised"`
+	Recalled   int      `json:"recalled"`
+	OutputSize int      `json:"output_size"`
+	MaxError   float64  `json:"max_recalled_error"`
+	WallMS     int64    `json:"wall_ms"`
+	Top        []topRow `json:"top"`
+}
+
+// runBench executes one full round — dataset synthesis, per-user reports,
+// aggregation, identification — and scores it against exact ground truth.
+func runBench(cfg benchConfig) (*benchResult, error) {
+	dom := workload.Domain{ItemBytes: cfg.ItemBytes}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 2))
+
+	var ds *workload.Dataset
+	var err error
+	switch cfg.Workload {
+	case "planted":
+		ds, err = workload.Planted(dom, cfg.N, []float64{0.25, 0.18, 0.12}, rng)
+	case "zipf":
+		ds, err = workload.Zipf(dom, cfg.N, cfg.Support, cfg.ZipfS, rng)
+	case "uniform":
+		ds, err = workload.Uniform(dom, cfg.N, cfg.Support, rng)
+	default:
+		err = fmt.Errorf("unknown workload %q", cfg.Workload)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var est []baseline.Estimate
+	var threshold float64
+	start := time.Now()
+	switch cfg.Protocol {
+	case "pes":
+		p, err := core.New(core.Params{
+			Eps: cfg.Eps, N: cfg.N, ItemBytes: cfg.ItemBytes,
+			Y: cfg.Y, Workers: cfg.Workers, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		threshold = p.Params().MinRecoverableFrequency()
+		urng := rand.New(rand.NewPCG(cfg.Seed, 3))
+		for i, x := range ds.Items {
+			rep, err := p.Report(x, i, urng)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Absorb(rep); err != nil {
+				return nil, err
+			}
+		}
+		coreEst, err := p.Identify()
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range coreEst {
+			est = append(est, baseline.Estimate{Item: e.Item, Count: e.Count})
+		}
+	case "bitstogram":
+		p, err := baseline.NewBitstogram(baseline.BitstogramParams{
+			Eps: cfg.Eps, N: cfg.N, ItemBytes: cfg.ItemBytes, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		threshold = p.MinRecoverableFrequency()
+		urng := rand.New(rand.NewPCG(cfg.Seed, 3))
+		for i, x := range ds.Items {
+			rep, err := p.Report(x, i, urng)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Absorb(rep); err != nil {
+				return nil, err
+			}
+		}
+		if est, err = p.Identify(0); err != nil {
+			return nil, err
+		}
+	case "treehist":
+		p, err := baseline.NewTreeHist(baseline.TreeHistParams{
+			Eps: cfg.Eps, N: cfg.N, ItemBytes: cfg.ItemBytes, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		threshold = p.MinRecoverableFrequency()
+		urng := rand.New(rand.NewPCG(cfg.Seed, 3))
+		for i, x := range ds.Items {
+			rep, err := p.Report(x, i, urng)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Absorb(rep); err != nil {
+				return nil, err
+			}
+		}
+		if est, err = p.Identify(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", cfg.Protocol)
+	}
+	elapsed := time.Since(start)
+
+	heavy := ds.HeavierThan(int(threshold))
+	recalled := 0
+	maxErr := 0.0
+	for _, h := range heavy {
+		for _, e := range est {
+			if string(e.Item) == string(h.Item) {
+				recalled++
+				if d := math.Abs(e.Count - float64(h.Count)); d > maxErr {
+					maxErr = d
+				}
+				break
+			}
+		}
+	}
+	res := &benchResult{
+		Protocol: cfg.Protocol, N: cfg.N, Eps: cfg.Eps, ItemBytes: cfg.ItemBytes,
+		Workload: cfg.Workload, Threshold: threshold, Promised: len(heavy),
+		Recalled: recalled, OutputSize: len(est), MaxError: maxErr,
+		WallMS: elapsed.Milliseconds(),
+	}
+	for i, e := range est {
+		if i >= 5 {
+			break
+		}
+		res.Top = append(res.Top, topRow{
+			Item: fmt.Sprintf("%x", e.Item),
+			Est:  e.Count,
+			True: ds.Count(e.Item),
+		})
+	}
+	return res, nil
+}
+
+// writeJSON emits the result as one indented JSON object.
+func writeJSON(w io.Writer, res *benchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// writeText emits the human-readable report.
+func writeText(w io.Writer, res *benchResult) {
+	fmt.Fprintf(w, "protocol=%s n=%d eps=%.1f |X|=256^%d workload=%s\n",
+		res.Protocol, res.N, res.Eps, res.ItemBytes, res.Workload)
+	fmt.Fprintf(w, "threshold (min recoverable frequency): %.0f (%.1f%% of n)\n",
+		res.Threshold, 100*res.Threshold/float64(res.N))
+	fmt.Fprintf(w, "items above threshold: %d, recalled: %d\n", res.Promised, res.Recalled)
+	fmt.Fprintf(w, "output list size: %d, worst recalled-item error: %.0f\n", res.OutputSize, res.MaxError)
+	fmt.Fprintf(w, "wall time (reports + aggregation + identify): %dms\n", res.WallMS)
+	if len(res.Top) > 0 {
+		fmt.Fprintln(w, "top estimates:")
+		for _, row := range res.Top {
+			fmt.Fprintf(w, "  %s  est=%8.0f  true=%d\n", row.Item, row.Est, row.True)
+		}
+	}
+}

@@ -7,17 +7,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
-	"math/rand/v2"
 	"os"
-	"time"
-
-	"ldphh/internal/baseline"
-	"ldphh/internal/core"
-	"ldphh/internal/workload"
 )
 
 var (
@@ -30,150 +22,30 @@ var (
 	support   = flag.Int("support", 1000, "zipf/uniform support size")
 	seed      = flag.Uint64("seed", 1, "seed for all randomness")
 	y         = flag.Int("y", 64, "per-coordinate hash range (pes)")
+	workers   = flag.Int("workers", 0, "Identify worker-pool size (pes; 0 = GOMAXPROCS)")
 	jsonOut   = flag.Bool("json", false, "emit a JSON result object instead of text")
 )
 
 func main() {
 	flag.Parse()
-	dom := workload.Domain{ItemBytes: *itemBytes}
-	rng := rand.New(rand.NewPCG(*seed, 2))
-
-	var ds *workload.Dataset
-	var err error
-	switch *load {
-	case "planted":
-		ds, err = workload.Planted(dom, *n, []float64{0.25, 0.18, 0.12}, rng)
-	case "zipf":
-		ds, err = workload.Zipf(dom, *n, *support, *zipfS, rng)
-	case "uniform":
-		ds, err = workload.Uniform(dom, *n, *support, rng)
-	default:
-		err = fmt.Errorf("unknown workload %q", *load)
-	}
+	res, err := runBench(benchConfig{
+		N:         *n,
+		Eps:       *eps,
+		ItemBytes: *itemBytes,
+		Protocol:  *proto,
+		Workload:  *load,
+		ZipfS:     *zipfS,
+		Support:   *support,
+		Seed:      *seed,
+		Y:         *y,
+		Workers:   *workers,
+	})
 	fatal(err)
-
-	var est []baseline.Estimate
-	var threshold float64
-	start := time.Now()
-	switch *proto {
-	case "pes":
-		p, err := core.New(core.Params{Eps: *eps, N: *n, ItemBytes: *itemBytes, Y: *y, Seed: *seed})
-		fatal(err)
-		threshold = p.Params().MinRecoverableFrequency()
-		urng := rand.New(rand.NewPCG(*seed, 3))
-		for i, x := range ds.Items {
-			rep, err := p.Report(x, i, urng)
-			fatal(err)
-			fatal(p.Absorb(rep))
-		}
-		coreEst, err := p.Identify()
-		fatal(err)
-		for _, e := range coreEst {
-			est = append(est, baseline.Estimate{Item: e.Item, Count: e.Count})
-		}
-	case "bitstogram":
-		p, err := baseline.NewBitstogram(baseline.BitstogramParams{
-			Eps: *eps, N: *n, ItemBytes: *itemBytes, Seed: *seed,
-		})
-		fatal(err)
-		threshold = p.MinRecoverableFrequency()
-		urng := rand.New(rand.NewPCG(*seed, 3))
-		for i, x := range ds.Items {
-			rep, err := p.Report(x, i, urng)
-			fatal(err)
-			fatal(p.Absorb(rep))
-		}
-		est, err = p.Identify(0)
-		fatal(err)
-	case "treehist":
-		p, err := baseline.NewTreeHist(baseline.TreeHistParams{
-			Eps: *eps, N: *n, ItemBytes: *itemBytes, Seed: *seed,
-		})
-		fatal(err)
-		threshold = p.MinRecoverableFrequency()
-		urng := rand.New(rand.NewPCG(*seed, 3))
-		for i, x := range ds.Items {
-			rep, err := p.Report(x, i, urng)
-			fatal(err)
-			fatal(p.Absorb(rep))
-		}
-		est, err = p.Identify()
-		fatal(err)
-	default:
-		fatal(fmt.Errorf("unknown protocol %q", *proto))
-	}
-	elapsed := time.Since(start)
-
-	heavy := ds.HeavierThan(int(threshold))
-	recalled := 0
-	maxErr := 0.0
-	for _, h := range heavy {
-		for _, e := range est {
-			if string(e.Item) == string(h.Item) {
-				recalled++
-				if d := math.Abs(e.Count - float64(h.Count)); d > maxErr {
-					maxErr = d
-				}
-				break
-			}
-		}
-	}
 	if *jsonOut {
-		type row struct {
-			Item string  `json:"item"`
-			Est  float64 `json:"estimate"`
-			True int     `json:"true"`
-		}
-		out := struct {
-			Protocol   string  `json:"protocol"`
-			N          int     `json:"n"`
-			Eps        float64 `json:"eps"`
-			ItemBytes  int     `json:"item_bytes"`
-			Workload   string  `json:"workload"`
-			Threshold  float64 `json:"threshold"`
-			Promised   int     `json:"promised"`
-			Recalled   int     `json:"recalled"`
-			OutputSize int     `json:"output_size"`
-			MaxError   float64 `json:"max_recalled_error"`
-			WallMS     int64   `json:"wall_ms"`
-			Top        []row   `json:"top"`
-		}{
-			Protocol: *proto, N: *n, Eps: *eps, ItemBytes: *itemBytes,
-			Workload: *load, Threshold: threshold, Promised: len(heavy),
-			Recalled: recalled, OutputSize: len(est), MaxError: maxErr,
-			WallMS: elapsed.Milliseconds(),
-		}
-		for i, e := range est {
-			if i >= 5 {
-				break
-			}
-			out.Top = append(out.Top, row{
-				Item: fmt.Sprintf("%x", e.Item),
-				Est:  e.Count,
-				True: ds.Count(e.Item),
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		fatal(enc.Encode(out))
+		fatal(writeJSON(os.Stdout, res))
 		return
 	}
-	fmt.Printf("protocol=%s n=%d eps=%.1f |X|=256^%d workload=%s\n",
-		*proto, *n, *eps, *itemBytes, *load)
-	fmt.Printf("threshold (min recoverable frequency): %.0f (%.1f%% of n)\n",
-		threshold, 100*threshold/float64(*n))
-	fmt.Printf("items above threshold: %d, recalled: %d\n", len(heavy), recalled)
-	fmt.Printf("output list size: %d, worst recalled-item error: %.0f\n", len(est), maxErr)
-	fmt.Printf("wall time (reports + aggregation + identify): %v\n", elapsed.Round(time.Millisecond))
-	if len(est) > 0 {
-		fmt.Println("top estimates:")
-		for i, e := range est {
-			if i >= 5 {
-				break
-			}
-			fmt.Printf("  %x  est=%8.0f  true=%d\n", e.Item, e.Count, ds.Count(e.Item))
-		}
-	}
+	writeText(os.Stdout, res)
 }
 
 func fatal(err error) {

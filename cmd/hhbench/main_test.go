@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunBenchJSON drives the extracted round function exactly as
+// `hhbench -json` does and parses the emitted JSON result object back,
+// pinning the output contract scripted consumers depend on.
+func TestRunBenchJSON(t *testing.T) {
+	// n large enough that the top planted fraction (25%) clears the
+	// configuration's sqrt(n·M)-shaped recovery floor, keeping the recall
+	// assertion non-vacuous.
+	res, err := runBench(benchConfig{
+		N: 16000, Eps: 4, ItemBytes: 4, Protocol: "pes",
+		Workload: "planted", Seed: 1, Y: 64, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Protocol   string  `json:"protocol"`
+		N          int     `json:"n"`
+		Eps        float64 `json:"eps"`
+		Workload   string  `json:"workload"`
+		Threshold  float64 `json:"threshold"`
+		Promised   int     `json:"promised"`
+		Recalled   int     `json:"recalled"`
+		OutputSize int     `json:"output_size"`
+		MaxError   float64 `json:"max_recalled_error"`
+		WallMS     int64   `json:"wall_ms"`
+		Top        []struct {
+			Item string  `json:"item"`
+			Est  float64 `json:"estimate"`
+			True int     `json:"true"`
+		} `json:"top"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if parsed.Protocol != "pes" || parsed.N != 16000 || parsed.Workload != "planted" {
+		t.Fatalf("JSON round-trip mangled the config: %+v", parsed)
+	}
+	if parsed.Threshold <= 0 {
+		t.Fatalf("threshold %v not positive", parsed.Threshold)
+	}
+	if parsed.Promised < 1 || parsed.Recalled < parsed.Promised {
+		t.Fatalf("promised %d items, recalled %d — the seeded round regressed", parsed.Promised, parsed.Recalled)
+	}
+	if parsed.OutputSize != len(parsed.Top) && len(parsed.Top) != 5 {
+		t.Fatalf("top rows %d inconsistent with output size %d", len(parsed.Top), parsed.OutputSize)
+	}
+	for _, row := range parsed.Top {
+		if row.Item == "" {
+			t.Fatal("top row with empty item")
+		}
+	}
+}
+
+// TestRunBenchBaselinesAndErrors smoke-tests the non-default protocol and
+// workload switches plus the error paths so every main-package branch runs
+// under `go test`.
+func TestRunBenchBaselinesAndErrors(t *testing.T) {
+	if _, err := runBench(benchConfig{
+		N: 4000, Eps: 4, ItemBytes: 2, Protocol: "bitstogram",
+		Workload: "zipf", ZipfS: 1.1, Support: 200, Seed: 1,
+	}); err != nil {
+		t.Fatalf("bitstogram/zipf round: %v", err)
+	}
+	if _, err := runBench(benchConfig{N: 1000, Eps: 4, ItemBytes: 2, Protocol: "nope", Workload: "planted", Seed: 1}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := runBench(benchConfig{N: 1000, Eps: 4, ItemBytes: 2, Protocol: "pes", Workload: "nope", Seed: 1}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestWriteText pins the human-readable report's load-bearing lines.
+func TestWriteText(t *testing.T) {
+	res, err := runBench(benchConfig{
+		N: 4000, Eps: 4, ItemBytes: 4, Protocol: "pes",
+		Workload: "planted", Seed: 1, Y: 16, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	writeText(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"protocol=pes", "threshold", "recalled", "wall time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,7 +12,10 @@
 //
 // Usage:
 //
-//	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0] [-shards GOMAXPROCS]
+//	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0] [-shards GOMAXPROCS] [-workers GOMAXPROCS]
+//
+// -workers sizes the Identify worker pool (core.Params.Workers); the
+// identification result is bit-identical at every worker count.
 package main
 
 import (
@@ -38,11 +41,13 @@ var (
 	seed   = flag.Uint64("seed", 1, "seed")
 	shards = flag.Int("shards", runtime.GOMAXPROCS(0),
 		"shard count for the local ingestion comparison (0 disables it)")
+	workers = flag.Int("workers", 0,
+		"Identify worker-pool size (0 = GOMAXPROCS); output is identical at any value")
 )
 
 func main() {
 	flag.Parse()
-	params := core.Params{Eps: *eps, N: *n, ItemBytes: 4, Y: 64, Seed: *seed}
+	params := core.Params{Eps: *eps, N: *n, ItemBytes: 4, Y: 64, Workers: *workers, Seed: *seed}
 	srv, err := protocol.NewServer(params, *addr)
 	fatal(err)
 	defer srv.Close()

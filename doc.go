@@ -26,6 +26,30 @@
 //     and merges once per batch, so heavy fleets never serialize behind a
 //     per-report lock.
 //
+// # Identify parallelism and determinism
+//
+// Both server-side halves run concurrently. Ingestion shards across
+// accumulators (above); identification fans out over a bounded pool of
+// Params.Workers goroutines (0 derives GOMAXPROCS, 1 forces the serial
+// path) through every stage of Algorithm 1's reconstruction: the
+// per-coordinate argmax/threshold scan of steps 2-3, the per-super-bucket
+// list-recovery decode of step 4, and the step 5-6 confirmation estimates
+// and final sort.
+//
+// The determinism contract: the same absorbed multiset of reports and the
+// same Params.Seed produce the bit-identical heavy-hitter list — same
+// items, same order, same float64 counts — at every worker count. This
+// holds because each parallel unit is a pure function of the frozen
+// counters and the seed, writing only its own output slot; in particular
+// the step-4 decoder draws its cluster-refinement randomness from a PCG
+// sub-stream labelled (Seed, bucket) rather than from any shared
+// generator, and the output order is a strict total order (count
+// descending, item bytes ascending) over deduplicated items. Workers is
+// therefore a pure throughput knob — it never feeds public randomness, so
+// clients and servers may disagree on it freely. The contract is enforced
+// under the race detector by core.TestIdentifyWorkerDeterminism and the
+// ingestion-side equivalence tests in internal/protocol.
+//
 // Quickstart (go build ./... && go test ./... both work from a clean
 // checkout; the module has no dependencies outside the standard library):
 //

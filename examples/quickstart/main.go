@@ -5,30 +5,39 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand/v2"
+	"os"
 
 	"ldphh"
 )
 
 func main() {
-	const n = 30000
+	if err := run(os.Stdout, 30000, 7); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the whole round for n users with the given public-randomness
+// seed, writing the report to w; main and the example's smoke test share it.
+func run(w io.Writer, n int, seed uint64) error {
 	dom := ldphh.Domain{ItemBytes: 4}
 
 	// Synthetic population: 25% hold item 1, 18% hold item 2, the rest are
 	// unique random values (the long tail).
 	ds, err := ldphh.PlantedDataset(dom, n, []float64{0.25, 0.18}, rand.New(rand.NewPCG(1, 2)))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Server side: one protocol instance; its Seed fixes the public
 	// randomness every user shares.
-	hh, err := ldphh.NewHeavyHitters(ldphh.Params{Eps: 4, N: n, ItemBytes: 4, Y: 64, Seed: 7})
+	hh, err := ldphh.NewHeavyHitters(ldphh.Params{Eps: 4, N: n, ItemBytes: 4, Y: 64, Seed: seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("protocol will recover items with frequency >= %.0f (%.1f%% of n)\n",
+	fmt.Fprintf(w, "protocol will recover items with frequency >= %.0f (%.1f%% of n)\n",
 		hh.Params().MinRecoverableFrequency(),
 		100*hh.Params().MinRecoverableFrequency()/float64(n))
 
@@ -38,21 +47,22 @@ func main() {
 	for i, item := range ds.Items {
 		rep, err := hh.Report(item, i, rng)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := hh.Absorb(rep); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
 	// Server side: identify the heavy hitters with frequency estimates.
 	est, err := hh.Identify()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("identified %d heavy hitters:\n", len(est))
+	fmt.Fprintf(w, "identified %d heavy hitters:\n", len(est))
 	for _, e := range est {
-		fmt.Printf("  item %x  estimated %6.0f  true %6d\n",
+		fmt.Fprintf(w, "  item %x  estimated %6.0f  true %6d\n",
 			e.Item, e.Count, ds.Count(e.Item))
 	}
+	return nil
 }

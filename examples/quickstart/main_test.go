@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns executes the example round end to end (at a reduced
+// population in -short mode) and checks it reports identified heavy
+// hitters — the smoke gate that keeps the README's first example working.
+func TestQuickstartRuns(t *testing.T) {
+	n := 30000
+	if testing.Short() {
+		n = 12000
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, n, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "protocol will recover items with frequency >=") {
+		t.Fatalf("missing recovery-floor line:\n%s", out)
+	}
+	if !strings.Contains(out, "identified") {
+		t.Fatalf("missing identification line:\n%s", out)
+	}
+	if strings.Contains(out, "identified 0 heavy hitters") {
+		t.Fatalf("seeded quickstart identified nothing:\n%s", out)
+	}
+}

@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"ldphh/internal/hadamard"
 	"ldphh/internal/listrec"
@@ -56,6 +57,15 @@ type Params struct {
 	// Confirmation oracle (Theorem 3.7) overrides; 0 = derive from N.
 	ConfRows int
 	ConfT    int
+
+	// Workers bounds the goroutine pool Identify uses for the per-coordinate
+	// argmax scan, the per-bucket decode, the confirmation estimates and the
+	// final sort. 0 derives runtime.GOMAXPROCS(0); 1 forces the serial path.
+	// Workers is a pure throughput knob: Identify output is bit-identical at
+	// every worker count (see the package determinism contract in doc.go),
+	// and the field does not influence any public randomness, so clients and
+	// servers may disagree on it freely.
+	Workers int
 
 	Seed uint64 // public randomness seed
 }
@@ -115,6 +125,12 @@ func (p *Params) setDefaults() error {
 	}
 	if p.TauFactor <= 0 {
 		return fmt.Errorf("core: TauFactor must be positive, got %v", p.TauFactor)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", p.Workers)
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
 	}
 	return nil
 }

@@ -8,9 +8,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ldphh/internal/dist"
 	"ldphh/internal/freqoracle"
 	"ldphh/internal/hashing"
 	"ldphh/internal/listrec"
+	"ldphh/internal/par"
 )
 
 // Report is one user's single ε-LDP message: the user's coordinate group,
@@ -38,6 +40,12 @@ type Estimate struct {
 // bottleneck Absorb callers contend on; high-throughput ingestion should
 // absorb into per-worker NewAccumulator shards (no locking) and Merge them,
 // or hand whole batches to AbsorbBatch.
+//
+// Identify itself fans out over a bounded pool of Params.Workers goroutines
+// (per-coordinate scan, per-bucket decode, per-candidate confirmation) and
+// is bit-identical at every worker count: all decode-side randomness is
+// derived from Params.Seed and the super-bucket index, never from shared
+// mutable generator state.
 type Protocol struct {
 	p        Params
 	code     *listrec.Code
@@ -45,7 +53,6 @@ type Protocol struct {
 	fold     hashing.Fingerprinter
 	partHash hashing.KWise // user index -> coordinate group (public partition)
 	zbits    int
-	rng      *rand.Rand // drives decode-side cluster refinement only
 
 	mu        sync.Mutex // guards everything below
 	direct    []*freqoracle.DirectHistogram
@@ -82,7 +89,6 @@ func New(params Params) (*Protocol, error) {
 		direct:   make([]*freqoracle.DirectHistogram, params.M),
 		zbits:    zbits,
 		groupN:   make([]int, params.M),
-		rng:      rng,
 	}
 	for m := 0; m < params.M; m++ {
 		d, err := freqoracle.NewDirectHistogram(params.Eps/2, params.B*params.Y*(1<<uint(zbits)))
@@ -345,9 +351,21 @@ type listEntry struct {
 	est float64
 }
 
+// decodeStreamLabel salts the per-bucket decode sub-streams so they cannot
+// collide with any other consumer of dist.Mix(Seed, ...).
+const decodeStreamLabel = 0x6465636f64657221 // "decoder!"
+
 // Identify runs the server-side reconstruction (steps 2-6 of Algorithm 1)
 // and returns the estimates sorted by decreasing count. It finalizes the
 // protocol; further Absorb and Merge calls fail.
+//
+// Every stage fans out over at most Params.Workers goroutines, and the
+// output is bit-identical at any worker count: each coordinate's scan and
+// each bucket's decode is a pure function of the absorbed counters and
+// Params.Seed writing only its own output slot, the per-bucket decoder
+// randomness is a dist.SubStream labelled by (Seed, bucket) rather than a
+// shared generator, and the final order is a strict total order (count
+// descending, item ascending) over deduplicated items.
 func (pr *Protocol) Identify() ([]Estimate, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
@@ -355,32 +373,33 @@ func (pr *Protocol) Identify() ([]Estimate, error) {
 		return nil, fmt.Errorf("core: Identify already ran")
 	}
 	pr.finalized = true
-	// Finalize the per-coordinate oracles. Each holds an O(cells) buffer, so
-	// run sequentially when cells is large to bound peak memory, in parallel
-	// otherwise.
-	cells := pr.p.CellsPerCoordinate(pr.zbits)
-	if cells <= 1<<20 {
-		var wg sync.WaitGroup
-		for m := 0; m < pr.p.M; m++ {
-			wg.Add(1)
-			go func(m int) { defer wg.Done(); pr.direct[m].Finalize() }(m)
-		}
-		wg.Wait()
-	} else {
-		for m := 0; m < pr.p.M; m++ {
-			pr.direct[m].Finalize()
-		}
+	workers := pr.p.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	// Finalize the per-coordinate oracles. Each Finalize holds an O(cells)
+	// scratch buffer during its transform, so cap the pool at one worker
+	// when cells is large to bound peak memory, exactly as the serial path
+	// always did.
+	cells := pr.p.CellsPerCoordinate(pr.zbits)
+	finWorkers := workers
+	if cells > 1<<20 {
+		finWorkers = 1
+	}
+	par.Range(pr.p.M, finWorkers, func(m int) { pr.direct[m].Finalize() })
 
 	// Steps 2-3: per (m, b, y) arg-max over z, threshold, top-cap lists.
+	// Coordinates are independent — worker m reads only its own oracle and
+	// writes only the lists[b][m] slots — so the scan parallelizes over m
+	// with no synchronization beyond the pool barrier.
 	lists := make([][][]listrec.Symbol, pr.p.B) // [b][m] -> list
 	for b := range lists {
 		lists[b] = make([][]listrec.Symbol, pr.p.M)
 	}
 	zSize := uint64(1) << uint(pr.zbits)
-	for m := 0; m < pr.p.M; m++ {
+	par.Range(pr.p.M, workers, func(m int) {
 		tau := pr.threshold(m)
-		hist := pr.direct[m].Histogram()
+		hist := pr.direct[m].HistogramView()
 		for b := 0; b < pr.p.B; b++ {
 			var entries []listEntry
 			for y := 0; y < pr.p.Y; y++ {
@@ -413,17 +432,31 @@ func (pr *Protocol) Identify() ([]Estimate, error) {
 			}
 			lists[b][m] = syms
 		}
-	}
+	})
 
-	// Step 4: decode each super-bucket.
+	// Step 4: decode each super-bucket concurrently. Bucket b's decoder
+	// randomness is the (Seed, b) sub-stream, so the items it returns do not
+	// depend on which worker ran it or in what order; the dedup below then
+	// walks buckets in index order, keeping the candidate list canonical.
+	decoded := make([][][]byte, pr.p.B)
+	decodeErrs := make([]error, pr.p.B)
+	par.Range(pr.p.B, workers, func(b int) {
+		items, err := pr.code.Decode(lists[b], dist.Mix(pr.p.Seed, decodeStreamLabel, uint64(b)))
+		if err != nil {
+			decodeErrs[b] = fmt.Errorf("core: decoding bucket %d: %w", b, err)
+			return
+		}
+		decoded[b] = items
+	})
+	for _, err := range decodeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	seen := make(map[string]bool)
 	var candidates [][]byte
 	for b := 0; b < pr.p.B; b++ {
-		items, err := pr.code.Decode(lists[b], pr.rng)
-		if err != nil {
-			return nil, fmt.Errorf("core: decoding bucket %d: %w", b, err)
-		}
-		for _, it := range items {
+		for _, it := range decoded[b] {
 			// The decoded item must actually map to this super-bucket;
 			// anything else is a phantom assembled from cross-bucket noise.
 			if pr.Bucket(it) != b {
@@ -436,18 +469,16 @@ func (pr *Protocol) Identify() ([]Estimate, error) {
 		}
 	}
 
-	// Steps 5-6: confirm frequencies with the second report halves.
-	pr.conf.Finalize()
-	out := make([]Estimate, 0, len(candidates))
-	for _, it := range candidates {
-		out = append(out, Estimate{Item: it, Count: pr.conf.Estimate(it)})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return string(out[i].Item) < string(out[j].Item)
+	// Steps 5-6: confirm frequencies with the second report halves. The
+	// oracle finalize honors the same worker bound; after it the oracle is
+	// read-only, so the estimates fan out per candidate and the sort runs
+	// chunked-parallel over the same pool.
+	pr.conf.FinalizeWorkers(workers)
+	out := make([]Estimate, len(candidates))
+	par.Range(len(candidates), workers, func(i int) {
+		out[i] = Estimate{Item: candidates[i], Count: pr.conf.Estimate(candidates[i])}
 	})
+	sortEstimates(out, workers)
 	return out, nil
 }
 
@@ -488,6 +519,26 @@ func (pr *Protocol) SketchBytes() int {
 	return total
 }
 
-// BytesPerReport returns the wire size of one user message: group (2) +
-// direct column (4) + bit (1) + confirmation row (2) + column (4) + bit (1).
-func (pr *Protocol) BytesPerReport() int { return 14 }
+// ReportPayloadBytes is the payload of one user message: group (2) +
+// direct column (4) + direct bit (1) + confirmation row (2) + confirmation
+// column (4) + confirmation bit (1). The TCP transport frames it behind a
+// 1-byte version, so protocol.FrameSize is defined as 1 + this constant —
+// one shared source of truth the wire encoder, the frame reader and the
+// Table 1 communication metric all derive from, pinned together by
+// protocol.TestFrameSizePinnedToBytesPerReport. (Historically the two were
+// written down independently and drifted.)
+const ReportPayloadBytes = 2 + 4 + 1 + 2 + 4 + 1
+
+// BytesPerReport returns the payload size of one user message (the Table 1
+// "communication per user" metric). Like every baseline's BytesPerReport
+// it excludes transport framing — the TCP path adds one version byte, see
+// protocol.FrameSize — so the cross-protocol comparison stays
+// apples-to-apples.
+func (pr *Protocol) BytesPerReport() int { return ReportPayloadBytes }
+
+// ConfOracleParams exposes the confirmation oracle's defaulted parameters;
+// the end-to-end accuracy suite derives its binomial-tail error bounds from
+// the row count and width chosen here.
+func (pr *Protocol) ConfOracleParams() freqoracle.HashtogramParams {
+	return pr.conf.Params()
+}

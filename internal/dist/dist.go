@@ -285,3 +285,36 @@ func HammingShell(x []uint64, k, d int, rng *rand.Rand) []uint64 {
 	}
 	return y
 }
+
+// splitmix64 is the SplitMix64 finalizer: a fast bijective mixer whose
+// output sequence over consecutive inputs passes BigCrush. It is the
+// standard way to expand one seed word into decorrelated stream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix folds any number of seed words into one well-distributed word by
+// chaining the SplitMix64 finalizer. Adjacent inputs (seed, 0), (seed, 1),
+// ... land far apart in the output space, so Mix(seed, i) is the canonical
+// way to label per-shard or per-bucket randomness derived from one root
+// seed.
+func Mix(words ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return h
+}
+
+// SubStream returns a deterministic PCG generator for the (seed, stream)
+// pair. Distinct streams of the same seed are decorrelated even for
+// adjacent stream indices, and the construction is pure: the same pair
+// always yields a generator producing the same sequence. Parallel decoders
+// (core.Protocol.Identify step 4) draw one SubStream per super-bucket so
+// concurrent decoding stays reproducible at any worker count.
+func SubStream(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(Mix(seed, stream), Mix(stream, 0x5375625374726561, seed)))
+}

@@ -286,3 +286,45 @@ func TestHammingShell(t *testing.T) {
 		}
 	}
 }
+
+func TestMixDistinctAndDeterministic(t *testing.T) {
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Fatal("Mix not deterministic")
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix ignores word order")
+	}
+	// Adjacent labels under a common root must scatter: collect 10k derived
+	// words and require all distinct (a 64-bit birthday collision among 10k
+	// draws has probability ~3e-12, so any collision means a mixing bug).
+	seen := make(map[uint64]bool, 10000)
+	for i := uint64(0); i < 10000; i++ {
+		w := Mix(42, i)
+		if seen[w] {
+			t.Fatalf("Mix(42, %d) collides with an earlier label", i)
+		}
+		seen[w] = true
+	}
+}
+
+func TestSubStreamDeterministicAndDecorrelated(t *testing.T) {
+	a1 := SubStream(7, 3)
+	a2 := SubStream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("SubStream not deterministic for equal (seed, stream)")
+		}
+	}
+	// Adjacent streams of one seed must not ride correlated sequences: the
+	// fraction of positionwise-equal draws over 1000 steps should be ~2^-64.
+	b1, b2 := SubStream(7, 0), SubStream(7, 1)
+	equal := 0
+	for i := 0; i < 1000; i++ {
+		if b1.Uint64() == b2.Uint64() {
+			equal++
+		}
+	}
+	if equal != 0 {
+		t.Fatalf("adjacent sub-streams agree on %d of 1000 draws", equal)
+	}
+}

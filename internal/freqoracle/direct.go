@@ -144,6 +144,18 @@ func (d *DirectHistogram) Histogram() []float64 {
 	return append([]float64(nil), d.hist[:d.domain]...)
 }
 
+// HistogramView returns the finalized estimated histogram over [0, Domain)
+// without copying. The caller must treat the slice as read-only; it stays
+// valid (and immutable — Absorb and Merge fail after Finalize) for the
+// oracle's lifetime. Identify's parallel per-coordinate scan reads through
+// this view so a large-domain scan costs no O(Domain) copy per coordinate.
+func (d *DirectHistogram) HistogramView() []float64 {
+	if !d.finalized {
+		panic("freqoracle: HistogramView before Finalize")
+	}
+	return d.hist[:d.domain]
+}
+
 // TotalReports returns the number of absorbed reports.
 func (d *DirectHistogram) TotalReports() int { return d.n }
 

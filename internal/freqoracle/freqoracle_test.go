@@ -443,3 +443,43 @@ func ExampleDirectHistogram() {
 	fmt.Println(d.Estimate(0) > 2500, d.Estimate(1) > 2500, math.Abs(d.Estimate(3)) < 1500)
 	// Output: true true true
 }
+
+// TestHashtogramFinalizeWorkersEquivalence pins the bounded-finalize
+// contract: the frozen sketch — hence every estimate — is bit-identical
+// whether the per-row transforms run serially, under a small pool, or one
+// goroutine per row (the plain Finalize path).
+func TestHashtogramFinalizeWorkersEquivalence(t *testing.T) {
+	const n = 4000
+	pop := buildPopulation(n, map[uint64]int{1: 900, 2: 500})
+	build := func(finalize func(h *Hashtogram)) *Hashtogram {
+		t.Helper()
+		h, err := NewHashtogram(HashtogramParams{Eps: 2, N: n, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(3, 3))
+		for i, x := range pop.items {
+			if err := h.Absorb(h.Report(x, i, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		finalize(h)
+		return h
+	}
+	ref := build(func(h *Hashtogram) { h.FinalizeWorkers(1) })
+	for name, fin := range map[string]func(h *Hashtogram){
+		"workers_3": func(h *Hashtogram) { h.FinalizeWorkers(3) },
+		"workers_over_rows": func(h *Hashtogram) {
+			h.FinalizeWorkers(10 * h.Params().Rows)
+		},
+		"Finalize": func(h *Hashtogram) { h.Finalize() },
+	} {
+		got := build(fin)
+		for _, q := range [][]byte{key(1), key(2), key(3), key(1 << 41)} {
+			if ref.Estimate(q) != got.Estimate(q) {
+				t.Fatalf("%s: Estimate(%x) = %v, serial finalize %v",
+					name, q, got.Estimate(q), ref.Estimate(q))
+			}
+		}
+	}
+}

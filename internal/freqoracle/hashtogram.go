@@ -23,12 +23,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sync"
 
 	"ldphh/internal/dist"
 	"ldphh/internal/hadamard"
 	"ldphh/internal/hashing"
 	"ldphh/internal/ldp"
+	"ldphh/internal/par"
 )
 
 // HashtogramParams configures the large-domain oracle.
@@ -184,28 +184,31 @@ func (h *Hashtogram) Absorb(rep HashtogramReport) error {
 	return nil
 }
 
-// Finalize reconstructs per-row bucket histograms (one FWHT per row, run in
-// parallel) and freezes the sketch.
-func (h *Hashtogram) Finalize() {
+// Finalize reconstructs per-row bucket histograms (one FWHT per row, all
+// rows concurrently) and freezes the sketch.
+func (h *Hashtogram) Finalize() { h.FinalizeWorkers(h.p.Rows) }
+
+// FinalizeWorkers is Finalize with the row transforms bounded to at most
+// workers concurrent goroutines; workers <= 1 runs fully serially with no
+// goroutine at all. The reconstruction is per-row independent, so the
+// frozen sketch is bit-identical at every bound — the knob only caps
+// concurrency and the transient per-worker O(T) scratch buffer, which is
+// how core.Protocol.Identify keeps its Params.Workers contract over the
+// confirmation oracle.
+func (h *Hashtogram) FinalizeWorkers(workers int) {
 	if h.finalized {
 		return
 	}
 	h.est = make([][]float64, h.p.Rows)
-	var wg sync.WaitGroup
-	for r := 0; r < h.p.Rows; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			v := append([]float64(nil), h.acc[r]...)
-			hadamard.Transform(v)
-			c := h.rand.CEps()
-			for j := range v {
-				v[j] *= c
-			}
-			h.est[r] = v
-		}(r)
-	}
-	wg.Wait()
+	par.Range(h.p.Rows, workers, func(r int) {
+		v := append([]float64(nil), h.acc[r]...)
+		hadamard.Transform(v)
+		c := h.rand.CEps()
+		for j := range v {
+			v[j] *= c
+		}
+		h.est[r] = v
+	})
 	h.finalized = true
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"ldphh/internal/dist"
 	"ldphh/internal/ecc"
 	"ldphh/internal/graph"
 )
@@ -12,17 +13,23 @@ import (
 // Decode recovers all items x whose encodings agree with at least a
 // MinAgree fraction of the lists (Definition 3.5). lists must have length M;
 // within each list the Y values must be distinct (the "unique" condition,
-// guaranteed by the PrivateExpanderSketch argmax construction). rng drives
-// the spectral refinement path of the cluster finder; decoding is
-// deterministic whenever clusters arrive as isolated components, which is
-// the whp case.
+// guaranteed by the PrivateExpanderSketch argmax construction).
+//
+// seed pins the call's entire randomness: Decode derives a private PCG
+// stream from it (dist.SubStream) that drives the spectral refinement path
+// of the cluster finder, so the same (lists, seed) pair always returns the
+// same items in the same order and concurrent Decode calls share no mutable
+// state. Callers decoding many bucket lists in parallel label each call
+// with its own seed (e.g. dist.Mix(rootSeed, bucket)); decoding is fully
+// deterministic even without that care whenever clusters arrive as isolated
+// components, which is the whp case.
 //
 // Decoding iterates a peeling loop (part of DESIGN.md substitution S2): when
 // short fingerprints glue several items' expander copies into one component,
 // the pass recovers at least the cleanest items; their symbols are then
 // removed from the lists and the graph rebuilt, which isolates the remaining
 // copies. The loop runs to a fixpoint.
-func (c *Code) Decode(lists [][]Symbol, rng *rand.Rand) ([][]byte, error) {
+func (c *Code) Decode(lists [][]Symbol, seed uint64) ([][]byte, error) {
 	if len(lists) != c.p.M {
 		return nil, fmt.Errorf("listrec: got %d lists, want %d", len(lists), c.p.M)
 	}
@@ -39,6 +46,7 @@ func (c *Code) Decode(lists [][]Symbol, rng *rand.Rand) ([][]byte, error) {
 		}
 	}
 
+	rng := dist.SubStream(seed, 0xDEC0DE)
 	remaining := make([][]Symbol, len(lists))
 	for m := range lists {
 		remaining[m] = append([]Symbol(nil), lists[m]...)

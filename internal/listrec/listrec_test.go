@@ -133,7 +133,7 @@ func TestDecodeSingleItemClean(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 4))
 	item := randItem(rng, 8)
 	lists := buildLists(c, [][]byte{item})
-	got, err := c.Decode(lists, rng)
+	got, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestDecodeManyItems(t *testing.T) {
 		items = append(items, randItem(rng, 8))
 	}
 	lists := buildLists(c, items)
-	got, err := c.Decode(lists, rng)
+	got, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestDecodeWithDroppedCoordinates(t *testing.T) {
 		for _, m := range perm[:drop] {
 			lists[m] = nil
 		}
-		got, err := c.Decode(lists, rng)
+		got, err := c.Decode(lists, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestDecodeWithCorruptedCoordinates(t *testing.T) {
 			z := lists[m][0].Z ^ 0x3f5 // flips chunk and fingerprint bits
 			lists[m][0] = Symbol{Y: lists[m][0].Y, Z: z & (1<<uint(c.ZBits()) - 1)}
 		}
-		got, err := c.Decode(lists, rng)
+		got, err := c.Decode(lists, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +234,7 @@ func TestDecodeWithNoiseSymbols(t *testing.T) {
 			lists[m] = append(lists[m], Symbol{Y: y, Z: rng.Uint64() & (1<<uint(c.ZBits()) - 1)})
 		}
 	}
-	got, err := c.Decode(lists, rng)
+	got, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,25 +252,23 @@ func TestDecodeWithNoiseSymbols(t *testing.T) {
 
 func TestDecodeRejectsDuplicateY(t *testing.T) {
 	c := mustCode(t, testParams(), 17)
-	rng := rand.New(rand.NewPCG(9, 9))
 	lists := make([][]Symbol, c.M())
 	lists[0] = []Symbol{{Y: 3, Z: 1}, {Y: 3, Z: 2}}
-	if _, err := c.Decode(lists, rng); err == nil {
+	if _, err := c.Decode(lists, 1); err == nil {
 		t.Fatal("duplicate Y accepted")
 	}
 	lists[0] = []Symbol{{Y: c.Params().Y, Z: 1}}
-	if _, err := c.Decode(lists, rng); err == nil {
+	if _, err := c.Decode(lists, 1); err == nil {
 		t.Fatal("out-of-range Y accepted")
 	}
-	if _, err := c.Decode(make([][]Symbol, 3), rng); err == nil {
+	if _, err := c.Decode(make([][]Symbol, 3), 1); err == nil {
 		t.Fatal("wrong list count accepted")
 	}
 }
 
 func TestDecodeEmptyLists(t *testing.T) {
 	c := mustCode(t, testParams(), 18)
-	rng := rand.New(rand.NewPCG(10, 10))
-	got, err := c.Decode(make([][]Symbol, c.M()), rng)
+	got, err := c.Decode(make([][]Symbol, c.M()), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +290,7 @@ func TestPaperExactConstructionFEqualsY(t *testing.T) {
 		items = append(items, randItem(rng, 4))
 	}
 	lists := buildLists(c, items)
-	got, err := c.Decode(lists, rng)
+	got, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +310,7 @@ func TestTinyMCompleteGraphFallback(t *testing.T) {
 	rng := rand.New(rand.NewPCG(12, 12))
 	item := randItem(rng, 2)
 	lists := buildLists(c, [][]byte{item})
-	got, err := c.Decode(lists, rng)
+	got, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +341,8 @@ func TestSlotPairingIsInvolution(t *testing.T) {
 }
 
 func TestDecodeManyItemsSortedStable(t *testing.T) {
-	// Decoding twice over the same lists yields the same item set.
+	// Decoding twice over the same lists with the same seed yields the same
+	// item set: Decode derives all its randomness from the seed argument.
 	c := mustCode(t, testParams(), 22)
 	rng := rand.New(rand.NewPCG(13, 13))
 	var items [][]byte
@@ -351,11 +350,11 @@ func TestDecodeManyItemsSortedStable(t *testing.T) {
 		items = append(items, randItem(rng, 8))
 	}
 	lists := buildLists(c, items)
-	a, err := c.Decode(lists, rand.New(rand.NewPCG(1, 1)))
+	a, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Decode(lists, rand.New(rand.NewPCG(1, 1)))
+	b, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +404,7 @@ func BenchmarkDecode20Items(b *testing.B) {
 	lists := buildLists(c, items)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Decode(lists, rng); err != nil {
+		if _, err := c.Decode(lists, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

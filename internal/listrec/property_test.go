@@ -44,7 +44,7 @@ func TestDefinition35Property(t *testing.T) {
 				}
 			}
 		}
-		got, err := c.Decode(lists, rng)
+		got, err := c.Decode(lists, 1)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -80,7 +80,7 @@ func TestDecodeAllCoordinatesCorrupted(t *testing.T) {
 	for _, m := range perm[:12] {
 		lists[m][0].Z ^= 0x5a5a & (1<<uint(c.ZBits()) - 1)
 	}
-	got, err := c.Decode(lists, rng)
+	got, err := c.Decode(lists, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

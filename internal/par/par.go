@@ -1,0 +1,50 @@
+// Package par provides the bounded worker pool the server-side parallel
+// pipelines share (core.Protocol.Identify's stages, the freqoracle sketch
+// finalizers). It exists so the atomic-counter pool is written once: both
+// consumers need identical semantics — dynamic index handout, a true
+// serial path at one worker — and neither can import the other.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Range runs fn(i) for every i in [0, n) on a pool of at most workers
+// goroutines and returns when all calls have finished. Indices are handed
+// out dynamically (an atomic counter), so uneven per-index cost balances
+// across the pool; with workers <= 1 the calls run inline with no
+// goroutine at all, making the 1-worker path exactly the serial loop it
+// replaces.
+//
+// Determinism contract: Range itself schedules nondeterministically —
+// callers obtain deterministic results by making fn(i) a pure function of
+// i that writes only to slot i of preallocated output, which is how every
+// caller in this module uses it.
+func Range(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,33 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRange(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			out := make([]int, n)
+			Range(n, workers, func(i int) { out[i] = i * i })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d n=%d: slot %d = %d", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeEachIndexOnce pins the handout contract: every index exactly
+// once, even with far more workers than items.
+func TestRangeEachIndexOnce(t *testing.T) {
+	const n = 5000
+	var calls [n]atomic.Int32
+	Range(n, 64, func(i int) { calls[i].Add(1) })
+	for i := range calls {
+		if got := calls[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}

@@ -52,6 +52,9 @@ const (
 
 // NewServer constructs a server around a fresh protocol with the given
 // parameters and starts listening on addr (use "127.0.0.1:0" for tests).
+// params.Workers sizes the Identify worker pool the cmdIdentify command
+// runs on; the identification reply is bit-identical at any worker count,
+// so operators can tune it per deployment without coordinating clients.
 func NewServer(params core.Params, addr string) (*Server, error) {
 	proto, err := core.New(params)
 	if err != nil {

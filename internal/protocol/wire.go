@@ -25,9 +25,13 @@ import (
 //	8      2    confirmation row
 //	10     4    confirmation column
 //	14     1    confirmation bit (0 => -1, 1 => +1)
+//
+// FrameSize derives from core.ReportPayloadBytes — the constant
+// Protocol.BytesPerReport (the Table 1 communication metric) answers from
+// — plus the 1-byte version, so the two cannot drift apart.
 const (
 	Version   = 1
-	FrameSize = 15
+	FrameSize = 1 + core.ReportPayloadBytes
 )
 
 // EncodeReport serializes a report into a fresh frame.

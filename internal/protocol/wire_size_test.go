@@ -1,0 +1,42 @@
+package protocol
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ldphh/internal/core"
+)
+
+// TestFrameSizePinnedToBytesPerReport pins the three places a report's wire
+// size is spoken for — the shared payload constant, the frame encoder's
+// actual output, and the Table 1 communication metric — to one value.
+// BytesPerReport is the payload (comparable with the baselines, which also
+// report framing-free sizes); the TCP frame adds exactly the 1-byte
+// version. A drift in any of them (the historical bug: the two constants
+// were written down independently) fails here.
+func TestFrameSizePinnedToBytesPerReport(t *testing.T) {
+	if FrameSize != 1+core.ReportPayloadBytes {
+		t.Fatalf("FrameSize = %d, want 1 + core.ReportPayloadBytes = %d", FrameSize, 1+core.ReportPayloadBytes)
+	}
+	p, err := core.New(core.Params{Eps: 2, N: 1000, ItemBytes: 4, Y: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.BytesPerReport(); got != core.ReportPayloadBytes {
+		t.Fatalf("BytesPerReport() = %d, core.ReportPayloadBytes = %d", got, core.ReportPayloadBytes)
+	}
+	rep, err := p.Report([]byte{1, 2, 3, 4}, 0, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != p.BytesPerReport()+1 {
+		t.Fatalf("encoded frame is %d bytes, want payload %d + 1 version byte", len(buf), p.BytesPerReport())
+	}
+	if len(buf) != FrameSize {
+		t.Fatalf("encoded frame is %d bytes, FrameSize = %d", len(buf), FrameSize)
+	}
+}
