@@ -285,6 +285,84 @@ func BenchmarkIdentify(b *testing.B) {
 	}
 }
 
+// BenchmarkMerge measures the root side of a two-tier aggregation tree:
+// absorbing k leaf snapshots (decode + validate + one locked accumulator
+// fold each) that together carry the same 2^18 reports
+// BenchmarkAbsorbParallel ingests directly — so Mreports_per_s here is the
+// fan-in cost per report, directly comparable against the ingestion rows.
+func BenchmarkMerge(b *testing.B) {
+	const total = 1 << 18
+	reports := ingestReports(b, total)
+	for _, leafCount := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("leaves_%d", leafCount), func(b *testing.B) {
+			snaps := make([][]byte, leafCount)
+			for l := range snaps {
+				leaf, err := core.New(ingestParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				chunk := (total + leafCount - 1) / leafCount
+				lo := l * chunk
+				hi := min(lo+chunk, total)
+				if err := leaf.AbsorbBatch(reports[lo:hi], runtime.GOMAXPROCS(0)); err != nil {
+					b.Fatal(err)
+				}
+				if snaps[l], err = leaf.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				root, err := core.New(ingestParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, snap := range snaps {
+					if err := root.MergeSnapshot(snap); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreports_per_s")
+		})
+	}
+}
+
+// BenchmarkSnapshotRoundTrip measures the leaf side: serializing the full
+// accumulated protocol state and rehydrating it into a fresh instance —
+// the checkpoint/restore path and the per-leaf cost of every fan-in round.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	const total = 1 << 18
+	reports := ingestReports(b, total)
+	p, err := core.New(ingestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.AbsorbBatch(reports, runtime.GOMAXPROCS(0)); err != nil {
+		b.Fatal(err)
+	}
+	fresh, err := core.New(ingestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snapBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := p.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapBytes = len(snap)
+		if err := fresh.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(snapBytes), "snapshot_bytes")
+	b.ReportMetric(float64(snapBytes)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MB_per_s")
+}
+
 // BenchmarkAbsorbContended is the adversarial reference: GOMAXPROCS
 // goroutines hammering Protocol.Absorb directly, all contending on the one
 // protocol mutex with its cache-line ping-pong — exactly what the TCP

@@ -10,9 +10,17 @@
 // ingestion throughputs and verifying the sharded round identifies the
 // identical heavy hitters; -shards 0 skips that comparison.
 //
+// With -tree it instead deploys a two-tier aggregation tree: -leaves leaf
+// servers each ingest a shard of the fleet concurrently, then the root
+// server absorbs every leaf's state via the snapshot/merge wire commands
+// and runs Identify once. The merged identification is verified
+// bit-identical against an in-process replay of the whole fleet — the
+// tree changes the deployment shape, never the Algorithm 1 output.
+//
 // Usage:
 //
 //	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0] [-shards GOMAXPROCS] [-workers GOMAXPROCS]
+//	hhnet -tree [-leaves 4] [-n 30000] [-fleets 8]
 //
 // -workers sizes the Identify worker pool (core.Params.Workers); the
 // identification result is bit-identical at every worker count.
@@ -43,23 +51,135 @@ var (
 		"shard count for the local ingestion comparison (0 disables it)")
 	workers = flag.Int("workers", 0,
 		"Identify worker-pool size (0 = GOMAXPROCS); output is identical at any value")
+	tree = flag.Bool("tree", false,
+		"run a two-tier aggregation tree: leaves ingest, the root merges their snapshots")
+	leaves = flag.Int("leaves", 4, "leaf aggregator count in -tree mode")
 )
 
 func main() {
 	flag.Parse()
 	params := core.Params{Eps: *eps, N: *n, ItemBytes: 4, Y: 64, Workers: *workers, Seed: *seed}
+	if *tree {
+		runTree(params)
+		return
+	}
 	srv, err := protocol.NewServer(params, *addr)
 	fatal(err)
 	defer srv.Close()
 	fmt.Printf("aggregation server listening on %s\n", srv.Addr())
 
-	dom := workload.Domain{ItemBytes: 4}
-	ds, err := workload.Planted(dom, *n, []float64{0.3, 0.2}, rand.New(rand.NewPCG(*seed, 2)))
-	fatal(err)
+	ds := dataset(params)
+	batches := buildBatches(params, ds)
 
-	// Client phase: each fleet derives its own client purely from Params —
-	// devices never see server state, only the shared seed — and prepares
-	// its batch before the timed network round.
+	// Network phase: stream every batch concurrently; the server absorbs
+	// each connection into its own shard.
+	start := time.Now()
+	deliver(batches, func(int) string { return srv.Addr() })
+	fmt.Printf("fleet of %d connections delivered %d reports in %v (%d bytes each)\n",
+		*fleets, srv.Absorbed(), time.Since(start).Round(time.Millisecond), protocol.FrameSize)
+
+	est, err := protocol.RequestIdentify(srv.Addr())
+	fatal(err)
+	printEstimates(est, ds)
+
+	if *shards > 0 {
+		localComparison(params, batches, est)
+	}
+}
+
+// runTree deploys the two-tier topology: -leaves leaf servers ingest the
+// fleet's shards concurrently, then the root pulls each leaf's snapshot
+// over the wire (cmdSnapshot), pushes it into its own state
+// (cmdMergeSnapshot) and identifies once over the union. The output is
+// verified bit-identical against an in-process replay of every report.
+func runTree(params core.Params) {
+	if *leaves < 1 {
+		fatal(fmt.Errorf("-leaves must be >= 1, got %d", *leaves))
+	}
+	root, err := protocol.NewServer(params, *addr)
+	fatal(err)
+	defer root.Close()
+	leafSrvs := make([]*protocol.Server, *leaves)
+	for l := range leafSrvs {
+		leafSrvs[l], err = protocol.NewServer(params, "127.0.0.1:0")
+		fatal(err)
+		defer leafSrvs[l].Close()
+	}
+	fmt.Printf("aggregation tree: root %s, %d leaves\n", root.Addr(), *leaves)
+
+	ds := dataset(params)
+	batches := buildBatches(params, ds)
+
+	// Leaf tier: fleet f reports to leaf f mod leaves, all concurrently.
+	start := time.Now()
+	deliver(batches, func(f int) string { return leafSrvs[f%*leaves].Addr() })
+	ingested := 0
+	for _, leaf := range leafSrvs {
+		ingested += leaf.Absorbed()
+	}
+	ingestDur := time.Since(start)
+
+	// Fan-in tier: pull every leaf's state, push it into the root.
+	start = time.Now()
+	snapBytes := 0
+	for _, leaf := range leafSrvs {
+		snap, err := protocol.RequestSnapshot(leaf.Addr())
+		fatal(err)
+		snapBytes += len(snap)
+		fatal(protocol.PushSnapshot(root.Addr(), snap))
+	}
+	mergeDur := time.Since(start)
+	fmt.Printf("%d leaves ingested %d reports in %v; root merged %d snapshot bytes in %v\n",
+		*leaves, ingested, ingestDur.Round(time.Millisecond), snapBytes, mergeDur.Round(time.Millisecond))
+	if root.Absorbed() != ingested {
+		fatal(fmt.Errorf("root absorbed %d of %d leaf reports", root.Absorbed(), ingested))
+	}
+
+	est, err := protocol.RequestIdentify(root.Addr())
+	fatal(err)
+	printEstimates(est, ds)
+
+	// Verification: the tree must not have changed the Algorithm 1 output.
+	replay, err := core.New(params)
+	fatal(err)
+	var reports []core.Report
+	for _, b := range batches {
+		reports = append(reports, b...)
+	}
+	fatal(replay.AbsorbBatch(reports, runtime.GOMAXPROCS(0)))
+	want, err := replay.Identify()
+	fatal(err)
+	assertSameEstimates(est, want)
+	fmt.Printf("tree identification matches the single-aggregator replay (%d items)\n", len(est))
+}
+
+// deliver streams every fleet batch concurrently, fleet f to addrFor(f),
+// and fails fast on the first delivery error.
+func deliver(batches [][]core.Report, addrFor func(f int) string) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(batches))
+	for f := range batches {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			errCh <- protocol.SendReports(addrFor(f), batches[f])
+		}(f)
+	}
+	wg.Wait()
+	drain(errCh)
+}
+
+func dataset(params core.Params) *workload.Dataset {
+	dom := workload.Domain{ItemBytes: 4}
+	ds, err := workload.Planted(dom, *n, []float64{0.3, 0.2}, rand.New(rand.NewPCG(params.Seed, 2)))
+	fatal(err)
+	return ds
+}
+
+// buildBatches runs the client phase: each fleet derives its own client
+// purely from Params — devices never see server state, only the shared
+// seed — and prepares its batch before the timed network round.
+func buildBatches(params core.Params, ds *workload.Dataset) [][]core.Report {
 	batches := make([][]core.Report, *fleets)
 	var wg sync.WaitGroup
 	errCh := make(chan error, *fleets)
@@ -72,7 +192,7 @@ func main() {
 				errCh <- err
 				return
 			}
-			rng := rand.New(rand.NewPCG(uint64(f), *seed))
+			rng := rand.New(rand.NewPCG(uint64(f), params.Seed))
 			var batch []core.Report
 			for i := f; i < *n; i += *fleets {
 				rep, err := client.Report(ds.Items[i], i, rng)
@@ -87,24 +207,10 @@ func main() {
 	}
 	wg.Wait()
 	drain(errCh)
+	return batches
+}
 
-	// Network phase: stream every batch concurrently; the server absorbs
-	// each connection into its own shard.
-	start := time.Now()
-	for f := 0; f < *fleets; f++ {
-		wg.Add(1)
-		go func(f int) {
-			defer wg.Done()
-			errCh <- protocol.SendReports(srv.Addr(), batches[f])
-		}(f)
-	}
-	wg.Wait()
-	drain(errCh)
-	fmt.Printf("fleet of %d connections delivered %d reports in %v (%d bytes each)\n",
-		*fleets, srv.Absorbed(), time.Since(start).Round(time.Millisecond), protocol.FrameSize)
-
-	est, err := protocol.RequestIdentify(srv.Addr())
-	fatal(err)
+func printEstimates(est []core.Estimate, ds *workload.Dataset) {
 	fmt.Printf("identified %d heavy hitters:\n", len(est))
 	for i, e := range est {
 		if i >= 10 {
@@ -112,9 +218,20 @@ func main() {
 		}
 		fmt.Printf("  %x  est=%8.0f  true=%d\n", e.Item, e.Count, ds.Count(e.Item))
 	}
+}
 
-	if *shards > 0 {
-		localComparison(params, batches, est)
+// assertSameEstimates checks the network round reproduces the in-process
+// identification bit for bit (the wire truncates counts to integers;
+// compare at that granularity).
+func assertSameEstimates(netEst, want []core.Estimate) {
+	if len(netEst) != len(want) {
+		fatal(fmt.Errorf("network round identified %d items, replay %d", len(netEst), len(want)))
+	}
+	for i := range netEst {
+		if !bytes.Equal(netEst[i].Item, want[i].Item) || int64(netEst[i].Count) != int64(want[i].Count) {
+			fatal(fmt.Errorf("identification diverged at rank %d: %x/%.0f vs %x/%.0f",
+				i, netEst[i].Item, netEst[i].Count, want[i].Item, want[i].Count))
+		}
 	}
 }
 
@@ -150,17 +267,7 @@ func localComparison(params core.Params, batches [][]core.Report, netEst []core.
 
 	est, err := sharded.Identify()
 	fatal(err)
-	if len(est) != len(netEst) {
-		fatal(fmt.Errorf("sharded round identified %d items, network round %d", len(est), len(netEst)))
-	}
-	for i := range est {
-		// The wire protocol truncates counts to integers; compare at that
-		// granularity.
-		if !bytes.Equal(est[i].Item, netEst[i].Item) || int64(est[i].Count) != int64(netEst[i].Count) {
-			fatal(fmt.Errorf("sharded round diverged at rank %d: %x/%.0f vs %x/%.0f",
-				i, est[i].Item, est[i].Count, netEst[i].Item, netEst[i].Count))
-		}
-	}
+	assertSameEstimates(netEst, est)
 	fmt.Printf("sharded round identification matches the network round (%d items)\n", len(est))
 }
 

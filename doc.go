@@ -24,7 +24,10 @@
 //   - Transport — a TCP aggregation server with sharded concurrent
 //     ingestion: each connection absorbs into a private accumulator shard
 //     and merges once per batch, so heavy fleets never serialize behind a
-//     per-report lock.
+//     per-report lock. Servers also speak a snapshot/merge protocol
+//     (RequestSnapshot/PushSnapshot) so aggregators compose into fan-in
+//     trees: leaves ingest, the root merges their serialized state and
+//     identifies once.
 //
 // # Identify parallelism and determinism
 //
@@ -49,6 +52,25 @@
 // clients and servers may disagree on it freely. The contract is enforced
 // under the race detector by core.TestIdentifyWorkerDeterminism and the
 // ingestion-side equivalence tests in internal/protocol.
+//
+// # Mergeable snapshots and the merge determinism contract
+//
+// The accumulated server state is a linear object: HeavyHitters.Snapshot
+// serializes it into a versioned, parameter-fingerprinted blob, Restore
+// rehydrates a checkpoint, and MergeSnapshot/MergeFrom fold another
+// aggregator's state into a running one. Snapshots only load where the
+// fingerprint matches — same Params.Seed, same ε, same sketch geometry
+// (Workers excluded) — and validation is atomic: corrupt or mismatched
+// bytes are rejected before any counter changes.
+//
+// The merge determinism contract extends the worker-count contract above:
+// for any split of a report multiset across leaf aggregators and any
+// merge order, the root's Identify output is bit-identical to a single
+// aggregator that absorbed every report itself. Counters are exact small
+// integers in float64, so merge addition is associative and commutative
+// with no rounding; the cross-layer equivalence suite enforces the
+// contract at the oracle, protocol, TCP and facade layers under the race
+// detector.
 //
 // Quickstart (go build ./... && go test ./... both work from a clean
 // checkout; the module has no dependencies outside the standard library):

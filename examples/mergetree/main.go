@@ -1,11 +1,16 @@
-// Merge tree: a two-tier aggregation topology. Regional aggregators each
-// collect a shard of the fleet's reports into their own Hashtogram sketch
-// (identical public randomness); the central server merges the regional
-// sketches and answers frequency queries over the whole population —
-// without any aggregator ever seeing another region's raw reports.
+// Merge tree: a two-tier aggregation topology over the full
+// PrivateExpanderSketch protocol. Regional aggregators each collect a shard
+// of the fleet's reports into their own HeavyHitters instance (identical
+// Params, so identical public randomness); each region then serializes its
+// accumulated state with Snapshot, and the central aggregator folds the
+// bytes in with MergeSnapshot and runs Identify once over the whole
+// population — without any aggregator ever seeing another region's raw
+// reports, and with the bit-identical output a single central server would
+// have produced (verified at the end against a sequential replay).
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -14,52 +19,97 @@ import (
 )
 
 func main() {
-	const n = 48000
+	const n = 30000
 	const regions = 6
-	params := ldphh.HashtogramParams{Eps: 1.5, N: n, Seed: 2718}
+	params := ldphh.Params{Eps: 4, N: n, ItemBytes: 4, Y: 64, Seed: 2718}
 
-	// One sketch per regional aggregator, identical parameters.
-	regional := make([]*ldphh.Hashtogram, regions)
-	for r := range regional {
-		var err error
-		regional[r], err = ldphh.NewHashtogram(params)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	// The fleet: planted popular item + long tail, users spread across
+	// The fleet: two planted popular items + long tail, users spread across
 	// regions round-robin.
-	dom := ldphh.Domain{ItemBytes: 8}
-	ds, err := ldphh.PlantedDataset(dom, n, []float64{0.20, 0.10}, rand.New(rand.NewPCG(1, 2)))
+	dom := ldphh.Domain{ItemBytes: 4}
+	ds, err := ldphh.PlantedDataset(dom, n, []float64{0.25, 0.15}, rand.New(rand.NewPCG(1, 2)))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// One aggregator per region, identical parameters. Devices derive their
+	// reports from a Client built on Params alone.
+	client, err := ldphh.NewClient(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regional := make([]*ldphh.HeavyHitters, regions)
+	for r := range regional {
+		if regional[r], err = ldphh.NewHeavyHitters(params); err != nil {
+			log.Fatal(err)
+		}
+	}
 	rng := rand.New(rand.NewPCG(3, 4))
+	reports := make([]ldphh.Report, n)
 	for i, item := range ds.Items {
-		region := regional[i%regions]
-		if err := region.Absorb(region.Report(item, i, rng)); err != nil {
+		if reports[i], err = client.Report(item, i, rng); err != nil {
+			log.Fatal(err)
+		}
+		if err := regional[i%regions].Absorb(reports[i]); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	// Central merge: fold every regional sketch into the first.
-	central := regional[0]
-	for r := 1; r < regions; r++ {
-		if err := central.Merge(regional[r]); err != nil {
+	// Central merge: every regional aggregator ships its serialized state
+	// upstream; the center absorbs the bytes. Snapshots are versioned and
+	// parameter-fingerprinted — a region built from a different Seed would
+	// be rejected here, not silently mis-merged.
+	central, err := ldphh.NewHeavyHitters(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapBytes := 0
+	for r := 0; r < regions; r++ {
+		snap, err := regional[r].Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		snapBytes += len(snap)
+		if err := central.MergeSnapshot(snap); err != nil {
 			log.Fatal(err)
 		}
 	}
-	central.Finalize()
+	fmt.Printf("%d regions merged (%d snapshot bytes), %d total reports\n",
+		regions, snapBytes, central.TotalReports())
 
-	fmt.Printf("%d regions merged, %d total reports\n", regions, central.TotalReports())
-	for i := 1; i <= 2; i++ {
-		item := dom.Item(uint64(i))
-		est, iqr := central.EstimateWithSpread(item)
-		fmt.Printf("item %d: merged estimate %7.0f ± %5.0f (IQR), true %6d\n",
-			i, est, iqr, ds.Count(item))
+	est, err := central.Identify()
+	if err != nil {
+		log.Fatal(err)
 	}
-	absent := dom.Item(424242)
-	est, _ := central.EstimateWithSpread(absent)
-	fmt.Printf("absent item: merged estimate %7.0f (should be near 0)\n", est)
+	fmt.Printf("central aggregator identified %d heavy hitters:\n", len(est))
+	for i, e := range est {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %x  est=%7.0f  true=%6d\n", e.Item, e.Count, ds.Count(e.Item))
+	}
+
+	// The merge determinism contract: the tree produced exactly what one
+	// aggregator ingesting everything would have.
+	replay, err := ldphh.NewHeavyHitters(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range reports {
+		if err := replay.Absorb(rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	want, err := replay.Identify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(est) != len(want) {
+		log.Fatalf("merged round identified %d items, sequential replay %d", len(est), len(want))
+	}
+	for i := range est {
+		if !bytes.Equal(est[i].Item, want[i].Item) || est[i].Count != want[i].Count {
+			log.Fatalf("rank %d diverged from the sequential replay", i)
+		}
+	}
+	fmt.Println("merged identification is bit-identical to the sequential replay")
 }

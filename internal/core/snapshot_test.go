@@ -1,0 +1,405 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func snapTestParams(seed uint64) Params {
+	return Params{Eps: 4, N: 20000, ItemBytes: 4, Y: 16, Seed: seed}
+}
+
+// snapTestReports builds a deterministic planted report stream: items 1 and
+// 2 are heavy, the tail is spread thin, so Identify has real output to
+// compare bit for bit.
+func snapTestReports(t testing.TB, params Params, n int) []Report {
+	t.Helper()
+	proto, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(21, 22))
+	reports := make([]Report, n)
+	for i := range reports {
+		var item [4]byte
+		switch {
+		case i%10 < 4:
+			item[3] = 1
+		case i%10 < 7:
+			item[3] = 2
+		default:
+			item[2] = byte(i % 97)
+			item[3] = byte(i % 251)
+		}
+		rep, err := proto.Report(item[:], i, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	return reports
+}
+
+func identifyAll(t testing.TB, pr *Protocol) []Estimate {
+	t.Helper()
+	est, err := pr.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func assertIdenticalEstimates(t *testing.T, got, want []Estimate) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("identified %d items, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Item, want[i].Item) || got[i].Count != want[i].Count {
+			t.Fatalf("rank %d diverged: %x/%v vs %x/%v",
+				i, got[i].Item, got[i].Count, want[i].Item, want[i].Count)
+		}
+	}
+}
+
+// TestProtocolMergeEquivalence is the protocol-layer half of the tentpole
+// property: for k ∈ {1, 2, 4} leaf aggregators each ingesting a share of
+// the same report stream, root Identify after snapshot+merge is
+// bit-identical — same items, same order, same float64 counts — to a
+// single aggregator ingesting everything sequentially.
+func TestProtocolMergeEquivalence(t *testing.T) {
+	const n = 20000
+	params := snapTestParams(2024)
+	reports := snapTestReports(t, params, n)
+
+	seq, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if err := seq.Absorb(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := identifyAll(t, seq)
+	if len(want) == 0 {
+		t.Fatal("sequential round identified nothing; the equivalence check would be vacuous")
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("leaves_%d", k), func(t *testing.T) {
+			leaves := make([]*Protocol, k)
+			for l := range leaves {
+				var err error
+				if leaves[l], err = New(params); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i, rep := range reports {
+				if err := leaves[i%k].Absorb(rep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			root, err := New(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, leaf := range leaves {
+				snap, err := leaf.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := root.MergeSnapshot(snap); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if root.TotalReports() != n {
+				t.Fatalf("root holds %d reports, want %d", root.TotalReports(), n)
+			}
+			assertIdenticalEstimates(t, identifyAll(t, root), want)
+		})
+	}
+}
+
+// TestProtocolMergeFromEquivalence covers the in-process fold: leaves merge
+// directly into the root without an explicit snapshot round trip.
+func TestProtocolMergeFromEquivalence(t *testing.T) {
+	const n = 12000
+	params := snapTestParams(7)
+	reports := snapTestReports(t, params, n)
+
+	seq, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.AbsorbBatch(reports, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := identifyAll(t, seq)
+
+	root, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	for l := 0; l < k; l++ {
+		leaf, err := New(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := l; i < n; i += k {
+			if err := leaf.Absorb(reports[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := root.MergeFrom(leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertIdenticalEstimates(t, identifyAll(t, root), want)
+}
+
+// TestProtocolSnapshotRestoreResume covers checkpoint/resume: absorb half,
+// snapshot, restore into a fresh protocol, absorb the rest — identical
+// Identify output to the uninterrupted run.
+func TestProtocolSnapshotRestoreResume(t *testing.T) {
+	const n = 12000
+	params := snapTestParams(99)
+	reports := snapTestReports(t, params, n)
+
+	a, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n/2; i++ {
+		if err := a.Absorb(reports[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore replaces state: pre-pollute b to prove the replacement is
+	// total, not additive.
+	for i := 0; i < 100; i++ {
+		if err := b.Absorb(reports[n-1-i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalReports() != n/2 {
+		t.Fatalf("restored protocol holds %d reports, want %d", b.TotalReports(), n/2)
+	}
+	for i := n / 2; i < n; i++ {
+		if err := b.Absorb(reports[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if err := c.Absorb(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertIdenticalEstimates(t, identifyAll(t, b), identifyAll(t, c))
+}
+
+func TestProtocolSnapshotValidation(t *testing.T) {
+	params := snapTestParams(5)
+	pr, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := snapTestReports(t, params, 500)
+	for _, rep := range reports {
+		if err := pr.Absorb(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := pr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Protocol {
+		p, err := New(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	t.Run("round trip", func(t *testing.T) {
+		p := fresh()
+		if err := p.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, snap) {
+			t.Error("snapshot round trip not canonical")
+		}
+	})
+	t.Run("fingerprint rejects different seed", func(t *testing.T) {
+		other, err := New(snapTestParams(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := other.Restore(snap); err == nil {
+			t.Error("snapshot from different seed accepted")
+		}
+		if err := other.MergeSnapshot(snap); err == nil {
+			t.Error("merge from different seed accepted")
+		}
+		if err := other.MergeFrom(pr); err == nil {
+			t.Error("MergeFrom across seeds accepted")
+		}
+	})
+	t.Run("fingerprint rejects different shape", func(t *testing.T) {
+		p := snapTestParams(5)
+		p.Y = 32
+		other, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := other.Restore(snap); err == nil {
+			t.Error("snapshot from different geometry accepted")
+		}
+	})
+	t.Run("workers excluded from fingerprint", func(t *testing.T) {
+		p := snapTestParams(5)
+		p.Workers = 3
+		other, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.Fingerprint() != pr.Fingerprint() {
+			t.Error("Workers changed the fingerprint; it must stay a pure throughput knob")
+		}
+		if err := other.Restore(snap); err != nil {
+			t.Errorf("snapshot rejected across worker counts: %v", err)
+		}
+	})
+	corruptions := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0) }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"corrupt fingerprint", func(b []byte) []byte { b[5] ^= 1; return b }},
+		{"corrupt group count", func(b []byte) []byte { b[25] ^= 1; return b }},
+		{"negative total", func(b []byte) []byte { b[17] |= 0x80; return b }},
+		{"NaN tail payload", func(b []byte) []byte {
+			copy(b[len(b)-8:], []byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1})
+			return b
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			p := fresh()
+			buf := tc.mutate(append([]byte(nil), snap...))
+			if err := p.Restore(buf); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+			if err := p.MergeSnapshot(buf); err == nil {
+				t.Fatalf("%s accepted by MergeSnapshot", tc.name)
+			}
+			// Atomicity: the failed restore left no partial state behind.
+			if p.TotalReports() != 0 {
+				t.Errorf("%s mutated protocol state on failure", tc.name)
+			}
+		})
+	}
+	t.Run("after identify", func(t *testing.T) {
+		p := fresh()
+		if err := p.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Identify(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Snapshot(); err == nil {
+			t.Error("Snapshot after Identify accepted")
+		}
+		if err := p.Restore(snap); err == nil {
+			t.Error("Restore after Identify accepted")
+		}
+		if err := p.MergeSnapshot(snap); err == nil {
+			t.Error("MergeSnapshot after Identify accepted")
+		}
+	})
+}
+
+// TestProtocolMergeSnapshotConcurrent merges leaf snapshots from concurrent
+// goroutines while report traffic is still arriving — the root aggregator's
+// real workload — and checks the total and the Identify output match the
+// sequential reference. Run under -race this also proves the locking is
+// sound.
+func TestProtocolMergeSnapshotConcurrent(t *testing.T) {
+	const n = 8000
+	const k = 4
+	params := snapTestParams(31)
+	reports := snapTestReports(t, params, 2*n)
+	direct, snapshotted := reports[:n], reports[n:]
+
+	seq, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.AbsorbBatch(reports, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := identifyAll(t, seq)
+
+	snaps := make([][]byte, k)
+	for l := 0; l < k; l++ {
+		leaf, err := New(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := l; i < n; i += k {
+			if err := leaf.Absorb(snapshotted[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if snaps[l], err = leaf.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	root, err := New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, k+1)
+	for l := 0; l < k; l++ {
+		go func(snap []byte) { errCh <- root.MergeSnapshot(snap) }(snaps[l])
+	}
+	go func() { errCh <- root.AbsorbBatch(direct, 2) }()
+	for i := 0; i < k+1; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if root.TotalReports() != 2*n {
+		t.Fatalf("root holds %d reports, want %d", root.TotalReports(), 2*n)
+	}
+	assertIdenticalEstimates(t, identifyAll(t, root), want)
+}

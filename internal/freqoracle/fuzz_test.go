@@ -1,0 +1,66 @@
+package freqoracle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRestoreSnapshot: arbitrary bytes must never panic either oracle's
+// Restore — truncated, oversize, NaN/Inf-payload and shape-mismatched
+// inputs are rejected with errors — and any snapshot an oracle accepts must
+// re-serialize to the identical bytes (the formats are canonical: every
+// field is pinned by the oracle's shape, so accepted state round-trips bit
+// for bit). Restore is atomic, which is what makes reusing one oracle
+// across fuzz iterations sound: an accepted input replaces the whole state,
+// a rejected one touches nothing.
+func FuzzRestoreSnapshot(f *testing.F) {
+	params := HashtogramParams{Eps: 1, N: 100, Rows: 2, T: 4, Seed: 1}
+	h, err := NewHashtogram(params)
+	if err != nil {
+		f.Fatal(err)
+	}
+	d, err := NewDirectHistogram(1, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Live seeds on top of the checked-in corpus: real snapshots of both
+	// oracles, plus a bit-flip sweep over a valid one so the fuzzer starts
+	// at every header boundary.
+	hsnap, err := h.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	dsnap, err := d.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hsnap)
+	f.Add(dsnap)
+	f.Add(hsnap[:len(hsnap)-1])
+	f.Add(append(append([]byte(nil), dsnap...), 0))
+	for i := 0; i < len(hsnap); i += 7 {
+		mut := append([]byte(nil), hsnap...)
+		mut[i] ^= 0x80
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := h.Restore(data); err == nil {
+			out, err := h.Snapshot()
+			if err != nil {
+				t.Fatalf("accepted hashtogram snapshot failed to re-serialize: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("hashtogram snapshot not canonical: %x -> %x", data, out)
+			}
+		}
+		if err := d.Restore(data); err == nil {
+			out, err := d.Snapshot()
+			if err != nil {
+				t.Fatalf("accepted direct snapshot failed to re-serialize: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("direct snapshot not canonical: %x -> %x", data, out)
+			}
+		}
+	})
+}

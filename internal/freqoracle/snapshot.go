@@ -6,13 +6,30 @@ import (
 	"math"
 )
 
-// Snapshot serializes the Hashtogram's accumulated (non-finalized) state so
-// an aggregation server can checkpoint mid-collection and resume after a
-// restart. The public randomness is NOT serialized — it is reproducible
-// from Params().Seed — so a snapshot is only loadable into a sketch built
-// from identical parameters. Format (big endian):
+// The oracles serialize their accumulated (non-finalized) state into small
+// versioned binary snapshots so an aggregation server can checkpoint
+// mid-collection, resume after a restart, or ship its state to a parent
+// aggregator that folds it in with Merge. The public randomness is NOT
+// serialized — it is reproducible from the construction parameters — so a
+// snapshot is only loadable into an oracle built from identical parameters;
+// Restore validates the embedded shape against the receiver and rejects
+// mismatches.
+//
+// Restore is atomic: it fully validates the snapshot (magic, version,
+// shape, counter ranges, float finiteness) before touching any state, so a
+// failed Restore leaves the oracle exactly as it was.
+//
+// Hashtogram format "LHSK" version 1 (big endian), pinned by
+// TestSnapshotGoldenBytes:
 //
 //	magic "LHSK" | version u8 | rows u32 | t u32 | rowCounts []u64 | acc []f64
+//
+// DirectHistogram format "LDSK" version 1 (big endian), pinned by
+// TestDirectSnapshotGoldenBytes:
+//
+//	magic "LDSK" | version u8 | domain u32 | t u32 | epsBits u64 | n u64 | acc []f64
+
+// Snapshot serializes the Hashtogram's accumulated state (format above).
 func (h *Hashtogram) Snapshot() ([]byte, error) {
 	if h.finalized {
 		return nil, fmt.Errorf("freqoracle: Snapshot after Finalize")
@@ -34,7 +51,8 @@ func (h *Hashtogram) Snapshot() ([]byte, error) {
 }
 
 // Restore loads a snapshot produced by a sketch with identical parameters,
-// replacing this sketch's accumulated state.
+// replacing this sketch's accumulated state. On error the state is
+// unchanged.
 func (h *Hashtogram) Restore(buf []byte) error {
 	if h.finalized {
 		return fmt.Errorf("freqoracle: Restore after Finalize")
@@ -55,7 +73,27 @@ func (h *Hashtogram) Restore(buf []byte) error {
 		return fmt.Errorf("freqoracle: snapshot shape (%d,%d) does not match sketch (%d,%d)",
 			rows, t, h.p.Rows, h.p.T)
 	}
+	// Validation pass: every counter must be a plausible accumulator value
+	// before anything is committed. Row counts are report tallies, so they
+	// must fit a non-negative int; accumulator cells are sums of ±1 reports,
+	// so NaN or ±Inf can only come from corruption.
 	off := 13
+	for r := 0; r < rows; r++ {
+		c := binary.BigEndian.Uint64(buf[off:])
+		if c > math.MaxInt64 {
+			return fmt.Errorf("freqoracle: snapshot row %d count %d is negative", r, int64(c))
+		}
+		off += 8
+	}
+	for i := 0; i < rows*t; i++ {
+		v := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("freqoracle: snapshot accumulator value %v is not finite", v)
+		}
+		off += 8
+	}
+	// Commit pass.
+	off = 13
 	for r := 0; r < rows; r++ {
 		h.rowCounts[r] = int(binary.BigEndian.Uint64(buf[off:]))
 		off += 8
@@ -65,6 +103,77 @@ func (h *Hashtogram) Restore(buf []byte) error {
 			h.acc[r][j] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
 			off += 8
 		}
+	}
+	return nil
+}
+
+// Snapshot serializes the DirectHistogram's accumulated state (format
+// above). The privacy parameter is embedded as raw float64 bits so a
+// snapshot cannot be restored into an oracle with a different ε — the
+// accumulated counters are only meaningful under the randomizer that
+// produced them.
+func (d *DirectHistogram) Snapshot() ([]byte, error) {
+	if d.finalized {
+		return nil, fmt.Errorf("freqoracle: Snapshot after Finalize")
+	}
+	size := 4 + 1 + 4 + 4 + 8 + 8 + 8*d.t
+	buf := make([]byte, 0, size)
+	buf = append(buf, 'L', 'D', 'S', 'K', 1)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(d.domain))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(d.t))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.eps))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.n))
+	for _, v := range d.acc {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// Restore loads a snapshot produced by an oracle with identical parameters,
+// replacing this oracle's accumulated state. On error the state is
+// unchanged.
+func (d *DirectHistogram) Restore(buf []byte) error {
+	if d.finalized {
+		return fmt.Errorf("freqoracle: Restore after Finalize")
+	}
+	want := 4 + 1 + 4 + 4 + 8 + 8 + 8*d.t
+	if len(buf) != want {
+		return fmt.Errorf("freqoracle: snapshot length %d, want %d", len(buf), want)
+	}
+	if string(buf[:4]) != "LDSK" {
+		return fmt.Errorf("freqoracle: bad snapshot magic")
+	}
+	if buf[4] != 1 {
+		return fmt.Errorf("freqoracle: unsupported snapshot version %d", buf[4])
+	}
+	domain := int(binary.BigEndian.Uint32(buf[5:]))
+	t := int(binary.BigEndian.Uint32(buf[9:]))
+	if domain != d.domain || t != d.t {
+		return fmt.Errorf("freqoracle: snapshot shape (%d,%d) does not match histogram (%d,%d)",
+			domain, t, d.domain, d.t)
+	}
+	if epsBits := binary.BigEndian.Uint64(buf[13:]); epsBits != math.Float64bits(d.eps) {
+		return fmt.Errorf("freqoracle: snapshot eps %v does not match histogram eps %v",
+			math.Float64frombits(epsBits), d.eps)
+	}
+	n := binary.BigEndian.Uint64(buf[21:])
+	if n > math.MaxInt64 {
+		return fmt.Errorf("freqoracle: snapshot report count %d is negative", int64(n))
+	}
+	off := 29
+	for j := 0; j < t; j++ {
+		v := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("freqoracle: snapshot accumulator value %v is not finite", v)
+		}
+		off += 8
+	}
+	// Commit pass.
+	d.n = int(n)
+	off = 29
+	for j := 0; j < t; j++ {
+		d.acc[j] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package freqoracle
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// The golden-bytes tests pin the exact serialized layouts so the formats
+// cannot drift silently (the way BytesPerReport once did): any byte-level
+// change to the encoders breaks these constants and must ship with a
+// version bump and a migration story, not slide through.
+
+// TestSnapshotGoldenBytes pins Hashtogram "LHSK" version 1:
+//
+//	magic | version | rows u32 | t u32 | rowCounts []u64 | acc []f64 (row-major)
+func TestSnapshotGoldenBytes(t *testing.T) {
+	h, err := NewHashtogram(HashtogramParams{Eps: 1, N: 100, Rows: 2, T: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-picked reports with fully predictable counters: two +1 hits on
+	// (row 0, col 1) and one -1 hit on (row 1, col 3).
+	for _, rep := range []HashtogramReport{
+		{Row: 0, Col: 1, Bit: 1},
+		{Row: 0, Col: 1, Bit: 1},
+		{Row: 1, Col: 3, Bit: -1},
+	} {
+		if err := h.Absorb(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "4c48534b01" + // "LHSK" v1
+		"00000002" + "00000004" + // rows=2, t=4
+		"0000000000000002" + "0000000000000001" + // rowCounts
+		"0000000000000000" + "4000000000000000" + "0000000000000000" + "0000000000000000" + // acc row 0: [0, 2, 0, 0]
+		"0000000000000000" + "0000000000000000" + "0000000000000000" + "bff0000000000000" // acc row 1: [0, 0, 0, -1]
+	if got := hex.EncodeToString(snap); got != golden {
+		t.Fatalf("LHSK layout drifted:\n got %s\nwant %s", got, golden)
+	}
+	// And the pinned bytes restore to the identical state.
+	g, err := NewHashtogram(HashtogramParams{Eps: 1, N: 100, Rows: 2, T: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Restore(raw); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalReports() != 3 {
+		t.Fatalf("restored golden sketch holds %d reports, want 3", g.TotalReports())
+	}
+}
+
+// TestDirectSnapshotGoldenBytes pins DirectHistogram "LDSK" version 1:
+//
+//	magic | version | domain u32 | t u32 | epsBits u64 | n u64 | acc []f64
+func TestDirectSnapshotGoldenBytes(t *testing.T) {
+	d, err := NewDirectHistogram(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []DirectReport{
+		{Col: 0, Bit: 1},
+		{Col: 2, Bit: -1},
+	} {
+		if err := d.Absorb(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "4c44534b01" + // "LDSK" v1
+		"00000003" + "00000004" + // domain=3, padded t=4
+		"3ff0000000000000" + // epsBits: Float64bits(1.0)
+		"0000000000000002" + // n=2
+		"3ff0000000000000" + "0000000000000000" + "bff0000000000000" + "0000000000000000" // acc: [1, 0, -1, 0]
+	if got := hex.EncodeToString(snap); got != golden {
+		t.Fatalf("LDSK layout drifted:\n got %s\nwant %s", got, golden)
+	}
+	g, err := NewDirectHistogram(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Restore(raw); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalReports() != 2 {
+		t.Fatalf("restored golden histogram holds %d reports, want 2", g.TotalReports())
+	}
+}

@@ -15,9 +15,17 @@ import (
 
 // Commands on the control byte that begins every connection.
 const (
-	cmdReport   = 0x01 // followed by a stream of report frames until EOF
-	cmdIdentify = 0x02 // triggers identification; reply is the estimate list
+	cmdReport        = 0x01 // followed by a stream of report frames until EOF
+	cmdIdentify      = 0x02 // triggers identification; reply is the estimate list
+	cmdSnapshot      = 0x03 // stream my accumulated state out (length-prefixed LPSK blob)
+	cmdMergeSnapshot = 0x04 // absorb a child aggregator's state (length-prefixed LPSK blob)
 )
+
+// maxSnapshotBytes bounds the length prefix either side of a snapshot
+// transfer will honor. It caps allocation from a hostile peer and keeps the
+// prefix unambiguous against the textual "ERR " failure reply (whose first
+// four bytes read as ~1.16e9, above this cap).
+const maxSnapshotBytes = 1 << 30
 
 // Server aggregates LDP reports over TCP into a PrivateExpanderSketch
 // protocol instance. One Server serves one collection round.
@@ -133,6 +141,10 @@ func (s *Server) handle(conn net.Conn) error {
 		return err
 	case cmdIdentify:
 		return s.handleIdentify(conn)
+	case cmdSnapshot:
+		return s.handleSnapshot(conn)
+	case cmdMergeSnapshot:
+		return s.handleMergeSnapshot(conn, br)
 	default:
 		return fmt.Errorf("protocol: unknown command %d", cmd)
 	}
@@ -216,6 +228,56 @@ func (s *Server) handleIdentify(conn net.Conn) error {
 	return bw.Flush()
 }
 
+// handleSnapshot serializes the protocol's accumulated state and streams it
+// back as a u32 length prefix plus the LPSK blob. Reports absorbed after
+// the internal Snapshot call are simply not in this checkpoint; they remain
+// in this aggregator's state and reach the root in a later snapshot or not
+// at all — the transfer itself is consistent at one instant because
+// Snapshot runs under the protocol mutex.
+func (s *Server) handleSnapshot(conn net.Conn) error {
+	snap, err := s.proto.Snapshot()
+	if err != nil {
+		return err
+	}
+	if len(snap) > maxSnapshotBytes {
+		return fmt.Errorf("protocol: snapshot of %d bytes exceeds transfer cap", len(snap))
+	}
+	bw := bufio.NewWriter(conn)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(snap)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(snap); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// handleMergeSnapshot reads a length-prefixed LPSK blob from a child
+// aggregator and folds it into the protocol, acknowledging with the same
+// byte report streams use so the child knows its state was absorbed before
+// it retires the data.
+func (s *Server) handleMergeSnapshot(conn net.Conn, br *bufio.Reader) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("protocol: reading snapshot length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxSnapshotBytes {
+		return fmt.Errorf("protocol: snapshot length %d exceeds transfer cap", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return fmt.Errorf("protocol: reading snapshot body: %w", err)
+	}
+	if err := s.proto.MergeSnapshot(buf); err != nil {
+		return err
+	}
+	_, err := conn.Write([]byte{ackByte})
+	return err
+}
+
 // SendReports streams reports to the server over one connection and waits
 // for the server's acknowledgment that every frame was absorbed.
 func SendReports(addr string, reports []core.Report) error {
@@ -296,4 +358,79 @@ func RequestIdentify(addr string) ([]core.Estimate, error) {
 		out = append(out, core.Estimate{Item: item, Count: float64(int64(binary.BigEndian.Uint64(cnt[:])))})
 	}
 	return out, nil
+}
+
+// RequestSnapshot asks an aggregation server for its accumulated state and
+// returns the LPSK snapshot bytes, ready to feed a parent aggregator via
+// PushSnapshot (or core.Protocol.MergeSnapshot / Restore in process).
+func RequestSnapshot(addr string) ([]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{cmdSnapshot}); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("protocol: reading snapshot reply: %w", err)
+	}
+	// Failures arrive as a textual "ERR ...\n" line instead of a length;
+	// the cap below keeps the two unambiguous ("ERR " decodes above it).
+	if string(hdr[:]) == "ERR " {
+		msg, _ := br.ReadString('\n')
+		return nil, fmt.Errorf("protocol: server rejected snapshot: %s", strings.TrimSpace(msg))
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxSnapshotBytes {
+		return nil, fmt.Errorf("protocol: implausible snapshot length %d", n)
+	}
+	snap := make([]byte, n)
+	if _, err := io.ReadFull(br, snap); err != nil {
+		return nil, fmt.Errorf("protocol: reading snapshot body: %w", err)
+	}
+	return snap, nil
+}
+
+// PushSnapshot ships a leaf aggregator's snapshot to a parent server, which
+// merges it into its own state, and waits for the acknowledgment. The two
+// ends must run protocols with equal fingerprints (same Params.Seed and
+// sketch geometry); a mismatch is rejected server-side before any state
+// changes.
+func PushSnapshot(addr string, snap []byte) error {
+	if len(snap) > maxSnapshotBytes {
+		return fmt.Errorf("protocol: snapshot of %d bytes exceeds transfer cap", len(snap))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := bw.WriteByte(cmdMergeSnapshot); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(snap)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(snap); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	first, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("protocol: waiting for merge ack: %w", err)
+	}
+	if first == ackByte {
+		return nil
+	}
+	msg, _ := br.ReadString('\n')
+	return fmt.Errorf("protocol: server rejected snapshot merge: %s", strings.TrimSpace(string(first)+msg))
 }

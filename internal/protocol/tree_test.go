@@ -1,0 +1,354 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ldphh/internal/core"
+)
+
+func treeParams(seed uint64) core.Params {
+	return core.Params{Eps: 4, N: 20000, ItemBytes: 4, Y: 16, Seed: seed}
+}
+
+// treeReports builds a deterministic planted report stream for the tree
+// tests (items 1 and 2 heavy, thin tail).
+func treeReports(t testing.TB, params core.Params, n int) []core.Report {
+	t.Helper()
+	proto, err := core.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(41, 42))
+	reports := make([]core.Report, n)
+	for i := range reports {
+		var item [4]byte
+		switch {
+		case i%10 < 4:
+			item[3] = 1
+		case i%10 < 7:
+			item[3] = 2
+		default:
+			item[2] = byte(i % 89)
+			item[3] = byte(i % 241)
+		}
+		rep, err := proto.Report(item[:], i, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	return reports
+}
+
+// TestTreeEquivalenceTCP is the end-to-end half of the tentpole property:
+// a two-tier aggregation tree over real TCP — k leaf servers ingesting
+// report shards concurrently, a root absorbing their snapshots via
+// cmdSnapshot/cmdMergeSnapshot — must answer Identify byte-identically to
+// one server that ingested every report itself. The wire reply truncates
+// counts to int64, so the comparison is at wire granularity on count and
+// exact on items and order.
+func TestTreeEquivalenceTCP(t *testing.T) {
+	const n = 12000
+	params := treeParams(314)
+	reports := treeReports(t, params, n)
+
+	// Reference: a single aggregator served the whole fleet.
+	single, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SendReports(single.Addr(), reports); err != nil {
+		t.Fatal(err)
+	}
+	want, err := RequestIdentify(single.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Close()
+	if len(want) == 0 {
+		t.Fatal("reference round identified nothing; the equivalence check would be vacuous")
+	}
+
+	for _, k := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("leaves_%d", k), func(t *testing.T) {
+			root, err := NewServer(params, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer root.Close()
+			leaves := make([]*Server, k)
+			for l := range leaves {
+				if leaves[l], err = NewServer(params, "127.0.0.1:0"); err != nil {
+					t.Fatal(err)
+				}
+				defer leaves[l].Close()
+			}
+			// Leaf tier: each leaf ingests its shard over concurrent
+			// connections.
+			var wg sync.WaitGroup
+			errs := make(chan error, k)
+			for l := 0; l < k; l++ {
+				var shard []core.Report
+				for i := l; i < n; i += k {
+					shard = append(shard, reports[i])
+				}
+				wg.Add(1)
+				go func(addr string, shard []core.Report) {
+					defer wg.Done()
+					errs <- SendReports(addr, shard)
+				}(leaves[l].Addr(), shard)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Fan-in: pull each leaf's state and push it into the root.
+			for l := 0; l < k; l++ {
+				snap, err := RequestSnapshot(leaves[l].Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := PushSnapshot(root.Addr(), snap); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := root.Absorbed(); got != n {
+				t.Fatalf("root absorbed %d reports, want %d", got, n)
+			}
+			got, err := RequestIdentify(root.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("tree identified %d items, single server %d", len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i].Item, want[i].Item) || got[i].Count != want[i].Count {
+					t.Fatalf("rank %d diverged: %x/%v vs %x/%v",
+						i, got[i].Item, got[i].Count, want[i].Item, want[i].Count)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotCommandErrors covers the failure replies of the two new
+// commands: snapshotting a closed round, pushing corrupt bytes, and pushing
+// a snapshot from a differently-seeded tree all answer ERR without
+// disturbing the server.
+func TestSnapshotCommandErrors(t *testing.T) {
+	params := treeParams(99)
+	srv, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reports := treeReports(t, params, 300)
+	if err := SendReports(srv.Addr(), reports); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := RequestSnapshot(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("merge corrupt blob", func(t *testing.T) {
+		bad := append([]byte(nil), snap...)
+		bad[0] = 'X'
+		if err := PushSnapshot(srv.Addr(), bad); err == nil {
+			t.Error("corrupt snapshot accepted")
+		}
+		if got := srv.Absorbed(); got != 300 {
+			t.Errorf("corrupt push changed absorbed count to %d", got)
+		}
+	})
+	t.Run("merge truncated blob", func(t *testing.T) {
+		if err := PushSnapshot(srv.Addr(), snap[:len(snap)/2]); err == nil {
+			t.Error("truncated snapshot accepted")
+		}
+	})
+	t.Run("merge across seeds", func(t *testing.T) {
+		other, err := NewServer(treeParams(100), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer other.Close()
+		if err := PushSnapshot(other.Addr(), snap); err == nil {
+			t.Error("snapshot from a differently-seeded tree accepted")
+		}
+	})
+	t.Run("self merge doubles counters", func(t *testing.T) {
+		// Merging my own snapshot is legal (fingerprints match) and, per the
+		// linear-accumulator semantics, double-counts: the operator-facing
+		// reason snapshots must be retired once pushed.
+		if err := PushSnapshot(srv.Addr(), snap); err != nil {
+			t.Fatal(err)
+		}
+		if got := srv.Absorbed(); got != 600 {
+			t.Errorf("self merge produced %d reports, want 600", got)
+		}
+	})
+	t.Run("snapshot after identify", func(t *testing.T) {
+		if _, err := RequestIdentify(srv.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RequestSnapshot(srv.Addr()); err == nil {
+			t.Error("snapshot of a closed round accepted")
+		}
+		if err := PushSnapshot(srv.Addr(), snap); err == nil {
+			t.Error("merge into a closed round accepted")
+		}
+	})
+}
+
+// TestIdentifyEmptyRound: cmdIdentify with zero absorbed reports is a legal
+// degenerate round — the reply is an empty estimate list, not an error, and
+// the round closes exactly like a populated one.
+func TestIdentifyEmptyRound(t *testing.T) {
+	srv, err := NewServer(treeParams(7), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	est, err := RequestIdentify(srv.Addr())
+	if err != nil {
+		t.Fatalf("identify on an empty round failed: %v", err)
+	}
+	if len(est) != 0 {
+		t.Fatalf("empty round identified %d items", len(est))
+	}
+	if _, err := RequestIdentify(srv.Addr()); err == nil {
+		t.Error("second identify on the closed empty round accepted")
+	}
+}
+
+// TestClientDisconnectMidFrame: a bulk connection (past the shardAfter
+// graduation point) that dies in the middle of a frame must cost the server
+// only the torn frame — every complete frame before it is merged — and the
+// server keeps serving.
+func TestClientDisconnectMidFrame(t *testing.T) {
+	params := treeParams(17)
+	srv, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const sent = shardAfter + 100 // force the shard-accumulator path
+	reports := treeReports(t, params, sent)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(cmdReport)
+	for _, rep := range reports {
+		if err := WriteFrame(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ship every complete frame plus half of a torn one, then vanish
+	// without the half-close handshake.
+	torn, err := EncodeReport(reports[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(torn[:FrameSize/2])
+	if _, err := conn.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && srv.Absorbed() < sent {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Absorbed(); got != sent {
+		t.Fatalf("server absorbed %d reports, want the %d complete frames", got, sent)
+	}
+	// Server is still healthy: snapshot and identify both answer.
+	if _, err := RequestSnapshot(srv.Addr()); err != nil {
+		t.Fatalf("server wedged after torn frame: %v", err)
+	}
+	if _, err := RequestIdentify(srv.Addr()); err != nil {
+		t.Fatalf("identify failed after torn frame: %v", err)
+	}
+}
+
+// TestCloseDuringIngestion: Close racing an active bulk stream must wait
+// for the in-flight connection, keep every complete frame, and not panic or
+// deadlock (the sender closes its half, so the handler drains and exits).
+func TestCloseDuringIngestion(t *testing.T) {
+	params := treeParams(23)
+	srv, err := NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sent = shardAfter + 512
+	reports := treeReports(t, params, sent)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{cmdReport}); err != nil {
+		t.Fatal(err)
+	}
+	// First half of the stream, guaranteed in flight before Close starts.
+	var first bytes.Buffer
+	for _, rep := range reports[:sent/2] {
+		if err := WriteFrame(&first, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(first.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && srv.Absorbed() == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// The server is now draining us; finish the stream and disconnect so
+	// Close can complete.
+	var second bytes.Buffer
+	for _, rep := range reports[sent/2:] {
+		if err := WriteFrame(&second, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(second.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked against an active ingestion stream")
+	}
+	conn.Close()
+	if got := srv.Absorbed(); got != sent {
+		t.Fatalf("server absorbed %d reports across Close, want %d", got, sent)
+	}
+	// After Close the listener is gone: new rounds are refused.
+	if err := SendReports(srv.Addr(), reports[:1]); err == nil {
+		t.Error("send succeeded after Close")
+	}
+}

@@ -227,3 +227,26 @@ func SendReports(addr string, reports []Report) error {
 func RequestIdentify(addr string) ([]Estimate, error) {
 	return protocol.RequestIdentify(addr)
 }
+
+// Multi-aggregator trees. HeavyHitters state is a linear accumulator, so
+// aggregation distributes: leaf aggregators ingest report shards
+// independently, serialize their accumulated state with
+// HeavyHitters.Snapshot, and a parent folds the bytes in with
+// HeavyHitters.MergeSnapshot (or absorbs a sibling in process with
+// MergeFrom). Snapshots are versioned and parameter-fingerprinted: they
+// only load into a protocol built from the same Params (same Seed, same
+// sketch geometry), and the merged root identifies the bit-identical
+// heavy-hitter list a single aggregator would have produced. The two
+// functions below run the same fan-in over TCP against NewServer instances.
+
+// RequestSnapshot asks an aggregation server for its serialized accumulated
+// state (a leaf checkpoint, ready for a parent's MergeSnapshot).
+func RequestSnapshot(addr string) ([]byte, error) {
+	return protocol.RequestSnapshot(addr)
+}
+
+// PushSnapshot ships a leaf snapshot to a parent aggregation server, which
+// merges it into its own state and acknowledges.
+func PushSnapshot(addr string, snap []byte) error {
+	return protocol.PushSnapshot(addr, snap)
+}

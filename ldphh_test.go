@@ -206,3 +206,128 @@ func TestPublicAPIZipf(t *testing.T) {
 		t.Error("Zipf skew missing through the facade")
 	}
 }
+
+// TestPublicAPIMergeTree exercises the distributed-aggregation facade: leaf
+// HeavyHitters instances snapshot their state, a root merges the bytes both
+// in process (MergeSnapshot) and over TCP (RequestSnapshot/PushSnapshot
+// against Server instances), and both roots identify bit-identically to a
+// sequential single-aggregator run.
+func TestPublicAPIMergeTree(t *testing.T) {
+	const n = 8000
+	const leaves = 3
+	params := ldphh.Params{Eps: 4, N: n, ItemBytes: 4, Y: 16, Seed: 11}
+	dom := ldphh.Domain{ItemBytes: 4}
+	ds, err := ldphh.PlantedDataset(dom, n, []float64{0.35, 0.25}, rand.New(rand.NewPCG(5, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := ldphh.NewClient(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	reports := make([]ldphh.Report, n)
+	for i, x := range ds.Items {
+		if reports[i], err = client.Report(x, i, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sequential reference.
+	seq, err := ldphh.NewHeavyHitters(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if err := seq.Absorb(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := seq.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run identified nothing")
+	}
+
+	// Library-layer tree.
+	root, err := ldphh.NewHeavyHitters(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < leaves; l++ {
+		leaf, err := ldphh.NewHeavyHitters(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := l; i < n; i += leaves {
+			if err := leaf.Absorb(reports[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap, err := leaf.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := root.MergeSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := root.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged root identified %d items, sequential %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Item, want[i].Item) || got[i].Count != want[i].Count {
+			t.Fatalf("rank %d diverged from sequential run", i)
+		}
+	}
+
+	// TCP tree through the facade.
+	if testing.Short() {
+		return
+	}
+	rootSrv, err := ldphh.NewServer(params, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootSrv.Close()
+	for l := 0; l < leaves; l++ {
+		leafSrv, err := ldphh.NewServer(params, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shard []ldphh.Report
+		for i := l; i < n; i += leaves {
+			shard = append(shard, reports[i])
+		}
+		if err := ldphh.SendReports(leafSrv.Addr(), shard); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ldphh.RequestSnapshot(leafSrv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ldphh.PushSnapshot(rootSrv.Addr(), snap); err != nil {
+			t.Fatal(err)
+		}
+		leafSrv.Close()
+	}
+	netEst, err := ldphh.RequestIdentify(rootSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(netEst) != len(want) {
+		t.Fatalf("TCP tree identified %d items, sequential %d", len(netEst), len(want))
+	}
+	for i := range netEst {
+		// The wire truncates counts to int64; compare at that granularity.
+		if !bytes.Equal(netEst[i].Item, want[i].Item) || int64(netEst[i].Count) != int64(want[i].Count) {
+			t.Fatalf("TCP rank %d diverged from sequential run", i)
+		}
+	}
+}
