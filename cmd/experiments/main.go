@@ -1,6 +1,6 @@
 // Command experiments regenerates the paper-versus-measured record for
-// every Table 1 row and every Section 4-7 theorem (experiments E1-E13 of
-// DESIGN.md). Its output is the measured column of EXPERIMENTS.md.
+// every Table 1 row and every Section 4-7 theorem. Its output is the
+// measured column of the reproduction record.
 //
 // Usage:
 //

@@ -1,15 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"math/rand/v2"
+	"sync"
 	"time"
 
-	"ldphh/internal/baseline"
-	"ldphh/internal/core"
+	"ldphh"
 	"ldphh/internal/workload"
 )
 
@@ -19,13 +20,15 @@ type benchConfig struct {
 	N         int
 	Eps       float64
 	ItemBytes int
-	Protocol  string // pes | bitstogram | treehist
+	Protocol  string // any registered protocol name (ldphh.ParseKind)
+	Transport string // inproc | tcp; "" = inproc
 	Workload  string // planted | zipf | uniform
 	ZipfS     float64
 	Support   int
 	Seed      uint64
 	Y         int // per-coordinate hash range (pes)
 	Workers   int // Identify worker-pool size (pes; 0 = GOMAXPROCS)
+	Fleets    int // concurrent sender connections in tcp transport; 0 = 4
 }
 
 // topRow is one of the leading output estimates with its ground truth.
@@ -37,120 +40,201 @@ type topRow struct {
 
 // benchResult is the measured round, JSON-shaped for -json consumers.
 type benchResult struct {
-	Protocol   string   `json:"protocol"`
-	N          int      `json:"n"`
-	Eps        float64  `json:"eps"`
-	ItemBytes  int      `json:"item_bytes"`
-	Workload   string   `json:"workload"`
-	Threshold  float64  `json:"threshold"`
-	Promised   int      `json:"promised"`
-	Recalled   int      `json:"recalled"`
-	OutputSize int      `json:"output_size"`
-	MaxError   float64  `json:"max_recalled_error"`
-	WallMS     int64    `json:"wall_ms"`
-	Top        []topRow `json:"top"`
+	Protocol      string   `json:"protocol"`
+	Transport     string   `json:"transport"`
+	N             int      `json:"n"`
+	Eps           float64  `json:"eps"`
+	ItemBytes     int      `json:"item_bytes"`
+	Workload      string   `json:"workload"`
+	Threshold     float64  `json:"threshold"`
+	Promised      int      `json:"promised"`
+	Recalled      int      `json:"recalled"`
+	OutputSize    int      `json:"output_size"`
+	MaxError      float64  `json:"max_recalled_error"`
+	WallMS        int64    `json:"wall_ms"`
+	ReportMS      int64    `json:"report_ms"`
+	IngestMS      int64    `json:"ingest_ms"`
+	IdentifyMS    int64    `json:"identify_ms"`
+	ReportsPerSec float64  `json:"ingest_reports_per_sec"`
+	BytesPerRep   int      `json:"bytes_per_report"`
+	SketchBytes   int      `json:"sketch_bytes"`
+	Top           []topRow `json:"top"`
+}
+
+// enumerableKind reports whether the kind's items must be ordinals of a
+// bounded explicit domain.
+func enumerableKind(k ldphh.Kind) bool {
+	switch k {
+	case ldphh.KindSmallDomain, ldphh.KindDirectHistogram, ldphh.KindBassilySmith:
+		return true
+	}
+	return false
+}
+
+// buildDataset synthesizes the population. Enumerable-domain protocols
+// reject the planted workload's uniform random filler (it falls outside
+// any enumerable domain), so those kinds require zipf or uniform, whose
+// items are small ordinals.
+func buildDataset(cfg benchConfig, kind ldphh.Kind, rng *rand.Rand) (*workload.Dataset, error) {
+	dom := workload.Domain{ItemBytes: cfg.ItemBytes}
+	switch cfg.Workload {
+	case "planted":
+		if enumerableKind(kind) {
+			return nil, fmt.Errorf("protocol %q runs over an enumerable domain; use -workload zipf or uniform", cfg.Protocol)
+		}
+		return workload.Planted(dom, cfg.N, []float64{0.25, 0.18, 0.12}, rng)
+	case "zipf":
+		return workload.Zipf(dom, cfg.N, cfg.Support, cfg.ZipfS, rng)
+	case "uniform":
+		return workload.Uniform(dom, cfg.N, cfg.Support, rng)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", cfg.Workload)
+	}
+}
+
+// newProtocol constructs one protocol instance from the config through the
+// unified functional-options constructor. Both the device side and the
+// server side of a round call it with identical arguments, which is the
+// whole deployment contract: shared options, shared public randomness.
+func newProtocol(cfg benchConfig, kind ldphh.Kind, ds *workload.Dataset) (ldphh.Protocol, error) {
+	opts := []ldphh.Option{
+		ldphh.WithEps(cfg.Eps), ldphh.WithN(cfg.N),
+		ldphh.WithItemBytes(cfg.ItemBytes), ldphh.WithSeed(cfg.Seed),
+	}
+	if cfg.Y > 0 {
+		opts = append(opts, ldphh.WithY(cfg.Y))
+	}
+	if cfg.Workers > 0 {
+		opts = append(opts, ldphh.WithWorkers(cfg.Workers))
+	}
+	if enumerableKind(kind) {
+		// zipf/uniform items are the ordinals [1, support]; pad by one for
+		// the zero ordinal.
+		opts = append(opts, ldphh.WithDomainSize(cfg.Support+1))
+	}
+	if kind == ldphh.KindHashtogram {
+		// A frequency oracle estimates a known dictionary; benchmark it on
+		// the true top of the distribution (the deployment where the
+		// candidate list is the product's URL/word allowlist).
+		var candidates [][]byte
+		for _, ic := range ds.TopK(32) {
+			candidates = append(candidates, ic.Item)
+		}
+		opts = append(opts, ldphh.WithCandidates(candidates))
+	}
+	return ldphh.New(kind, opts...)
 }
 
 // runBench executes one full round — dataset synthesis, per-user reports,
-// aggregation, identification — and scores it against exact ground truth.
+// aggregation (in process or over TCP), identification — and scores it
+// against exact ground truth. Every protocol goes through the identical
+// unified code path; only the Kind differs.
 func runBench(cfg benchConfig) (*benchResult, error) {
-	dom := workload.Domain{ItemBytes: cfg.ItemBytes}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 2))
-
-	var ds *workload.Dataset
-	var err error
-	switch cfg.Workload {
-	case "planted":
-		ds, err = workload.Planted(dom, cfg.N, []float64{0.25, 0.18, 0.12}, rng)
-	case "zipf":
-		ds, err = workload.Zipf(dom, cfg.N, cfg.Support, cfg.ZipfS, rng)
-	case "uniform":
-		ds, err = workload.Uniform(dom, cfg.N, cfg.Support, rng)
-	default:
-		err = fmt.Errorf("unknown workload %q", cfg.Workload)
+	kind, err := ldphh.ParseKind(cfg.Protocol)
+	if err != nil {
+		return nil, err
 	}
+	if cfg.Transport == "" {
+		cfg.Transport = "inproc"
+	}
+	if cfg.Fleets <= 0 {
+		cfg.Fleets = 4
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 2))
+	ds, err := buildDataset(cfg, kind, rng)
 	if err != nil {
 		return nil, err
 	}
 
-	var est []baseline.Estimate
-	var threshold float64
-	start := time.Now()
-	switch cfg.Protocol {
-	case "pes":
-		p, err := core.New(core.Params{
-			Eps: cfg.Eps, N: cfg.N, ItemBytes: cfg.ItemBytes,
-			Y: cfg.Y, Workers: cfg.Workers, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		threshold = p.Params().MinRecoverableFrequency()
-		urng := rand.New(rand.NewPCG(cfg.Seed, 3))
-		for i, x := range ds.Items {
-			rep, err := p.Report(x, i, urng)
-			if err != nil {
-				return nil, err
-			}
-			if err := p.Absorb(rep); err != nil {
-				return nil, err
-			}
-		}
-		coreEst, err := p.Identify()
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range coreEst {
-			est = append(est, baseline.Estimate{Item: e.Item, Count: e.Count})
-		}
-	case "bitstogram":
-		p, err := baseline.NewBitstogram(baseline.BitstogramParams{
-			Eps: cfg.Eps, N: cfg.N, ItemBytes: cfg.ItemBytes, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		threshold = p.MinRecoverableFrequency()
-		urng := rand.New(rand.NewPCG(cfg.Seed, 3))
-		for i, x := range ds.Items {
-			rep, err := p.Report(x, i, urng)
-			if err != nil {
-				return nil, err
-			}
-			if err := p.Absorb(rep); err != nil {
-				return nil, err
-			}
-		}
-		if est, err = p.Identify(0); err != nil {
-			return nil, err
-		}
-	case "treehist":
-		p, err := baseline.NewTreeHist(baseline.TreeHistParams{
-			Eps: cfg.Eps, N: cfg.N, ItemBytes: cfg.ItemBytes, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		threshold = p.MinRecoverableFrequency()
-		urng := rand.New(rand.NewPCG(cfg.Seed, 3))
-		for i, x := range ds.Items {
-			rep, err := p.Report(x, i, urng)
-			if err != nil {
-				return nil, err
-			}
-			if err := p.Absorb(rep); err != nil {
-				return nil, err
-			}
-		}
-		if est, err = p.Identify(); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", cfg.Protocol)
+	device, err := newProtocol(cfg, kind, ds)
+	if err != nil {
+		return nil, err
 	}
+	agg, err := newProtocol(cfg, kind, ds)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+
+	// Device phase: one wire report per user.
+	urng := rand.New(rand.NewPCG(cfg.Seed, 3))
+	reports := make([]ldphh.WireReport, cfg.N)
+	for i, x := range ds.Items {
+		if reports[i], err = device.Report(x, i, urng); err != nil {
+			return nil, err
+		}
+	}
+	reportDur := time.Since(start)
+
+	// Aggregation phase.
+	ctx := context.Background()
+	ingestStart := time.Now()
+	var identifyDur time.Duration
+	var est []ldphh.Estimate
+	switch cfg.Transport {
+	case "inproc":
+		const window = 8192
+		for lo := 0; lo < len(reports); lo += window {
+			hi := min(lo+window, len(reports))
+			if err := agg.AbsorbBatch(reports[lo:hi]); err != nil {
+				return nil, err
+			}
+		}
+		idStart := time.Now()
+		if est, err = agg.Identify(ctx); err != nil {
+			return nil, err
+		}
+		identifyDur = time.Since(idStart)
+	case "tcp":
+		srv, err := ldphh.NewAggregationServer(agg, "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		var wg sync.WaitGroup
+		sendErrs := make([]error, cfg.Fleets)
+		for f := 0; f < cfg.Fleets; f++ {
+			var batch []ldphh.WireReport
+			for i := f; i < len(reports); i += cfg.Fleets {
+				batch = append(batch, reports[i])
+			}
+			wg.Add(1)
+			go func(f int, batch []ldphh.WireReport) {
+				defer wg.Done()
+				sendErrs[f] = ldphh.SendWireReports(ctx, srv.Addr(), batch)
+			}(f, batch)
+		}
+		wg.Wait()
+		for _, err := range sendErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if got := srv.Absorbed(); got != cfg.N {
+			return nil, fmt.Errorf("server absorbed %d of %d reports", got, cfg.N)
+		}
+		idStart := time.Now()
+		if est, err = ldphh.RequestIdentifyContext(ctx, srv.Addr()); err != nil {
+			return nil, err
+		}
+		identifyDur = time.Since(idStart)
+	default:
+		return nil, fmt.Errorf("unknown transport %q (inproc | tcp)", cfg.Transport)
+	}
+	ingestDur := time.Since(ingestStart) - identifyDur
 	elapsed := time.Since(start)
 
+	// Scoring: the protocol states its own recovery floor.
+	threshold := 0.0
+	if c, ok := agg.(ldphh.Calibrated); ok {
+		threshold = c.MinRecoverableFrequency()
+	}
 	heavy := ds.HeavierThan(int(threshold))
+	if kind == ldphh.KindHashtogram {
+		// The oracle only answers its candidate set; score on that set.
+		heavy = filterToTop(heavy, ds, 32)
+	}
 	recalled := 0
 	maxErr := 0.0
 	for _, h := range heavy {
@@ -165,10 +249,17 @@ func runBench(cfg benchConfig) (*benchResult, error) {
 		}
 	}
 	res := &benchResult{
-		Protocol: cfg.Protocol, N: cfg.N, Eps: cfg.Eps, ItemBytes: cfg.ItemBytes,
+		Protocol: cfg.Protocol, Transport: cfg.Transport,
+		N: cfg.N, Eps: cfg.Eps, ItemBytes: cfg.ItemBytes,
 		Workload: cfg.Workload, Threshold: threshold, Promised: len(heavy),
 		Recalled: recalled, OutputSize: len(est), MaxError: maxErr,
-		WallMS: elapsed.Milliseconds(),
+		WallMS:        elapsed.Milliseconds(),
+		ReportMS:      reportDur.Milliseconds(),
+		IngestMS:      ingestDur.Milliseconds(),
+		IdentifyMS:    identifyDur.Milliseconds(),
+		ReportsPerSec: float64(cfg.N) / max(ingestDur.Seconds(), 1e-9),
+		BytesPerRep:   agg.BytesPerReport(),
+		SketchBytes:   agg.SketchBytes(),
 	}
 	for i, e := range est {
 		if i >= 5 {
@@ -183,8 +274,52 @@ func runBench(cfg benchConfig) (*benchResult, error) {
 	return res, nil
 }
 
-// writeJSON emits the result as one indented JSON object.
+// filterToTop intersects the heavy list with the dataset's top-k items.
+func filterToTop(heavy []workload.ItemCount, ds *workload.Dataset, k int) []workload.ItemCount {
+	top := make(map[string]bool, k)
+	for _, ic := range ds.TopK(k) {
+		top[string(ic.Item)] = true
+	}
+	var out []workload.ItemCount
+	for _, h := range heavy {
+		if top[string(h.Item)] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// table1Protocols is the -protocol all sweep: every heavy-hitters protocol
+// of the paper's Table 1 comparison, driven through the identical path.
+var table1Protocols = []string{"pes", "smalldomain", "bitstogram", "treehist", "bassilysmith"}
+
+// runAll sweeps the Table 1 protocols with one shared config, forcing the
+// zipf workload (legal for every domain regime).
+func runAll(cfg benchConfig) ([]*benchResult, error) {
+	var out []*benchResult
+	for _, name := range table1Protocols {
+		c := cfg
+		c.Protocol = name
+		c.Workload = "zipf"
+		res, err := runBench(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// writeJSON emits one result as an indented JSON object.
 func writeJSON(w io.Writer, res *benchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// writeJSONAll emits a result list as one indented JSON array (the
+// BENCH_table1.json artifact shape).
+func writeJSONAll(w io.Writer, res []*benchResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
@@ -192,13 +327,16 @@ func writeJSON(w io.Writer, res *benchResult) error {
 
 // writeText emits the human-readable report.
 func writeText(w io.Writer, res *benchResult) {
-	fmt.Fprintf(w, "protocol=%s n=%d eps=%.1f |X|=256^%d workload=%s\n",
-		res.Protocol, res.N, res.Eps, res.ItemBytes, res.Workload)
+	fmt.Fprintf(w, "protocol=%s transport=%s n=%d eps=%.1f |X|=256^%d workload=%s\n",
+		res.Protocol, res.Transport, res.N, res.Eps, res.ItemBytes, res.Workload)
 	fmt.Fprintf(w, "threshold (min recoverable frequency): %.0f (%.1f%% of n)\n",
 		res.Threshold, 100*res.Threshold/float64(res.N))
 	fmt.Fprintf(w, "items above threshold: %d, recalled: %d\n", res.Promised, res.Recalled)
 	fmt.Fprintf(w, "output list size: %d, worst recalled-item error: %.0f\n", res.OutputSize, res.MaxError)
-	fmt.Fprintf(w, "wall time (reports + aggregation + identify): %dms\n", res.WallMS)
+	fmt.Fprintf(w, "communication: %d payload bytes/report; server memory: %d bytes\n",
+		res.BytesPerRep, res.SketchBytes)
+	fmt.Fprintf(w, "wall time %dms (reports %dms, ingest %dms at %.2f M/s, identify %dms)\n",
+		res.WallMS, res.ReportMS, res.IngestMS, res.ReportsPerSec/1e6, res.IdentifyMS)
 	if len(res.Top) > 0 {
 		fmt.Fprintln(w, "top estimates:")
 		for _, row := range res.Top {

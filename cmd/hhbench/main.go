@@ -1,14 +1,21 @@
-// Command hhbench runs one parameterized heavy-hitters round and reports
-// recall, precision and error against exact ground truth.
-//
-// Usage:
+// Command hhbench runs parameterized heavy-hitters rounds through the
+// unified protocol surface and reports recall, error and throughput against
+// exact ground truth. Every registered protocol is benchable through the
+// identical code path, in process or over real TCP:
 //
 //	hhbench -n 60000 -eps 4 -itembytes 4 -protocol pes -workload zipf
+//	hhbench -protocol treehist -transport tcp -itembytes 2
+//	hhbench -protocol all -json -out BENCH_table1.json
+//
+// -protocol all sweeps the Table 1 comparison (pes, smalldomain,
+// bitstogram, treehist, bassilysmith) over the zipf workload and emits a
+// JSON array — the per-protocol throughput artifact CI accumulates.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -16,36 +23,75 @@ var (
 	n         = flag.Int("n", 60000, "number of users")
 	eps       = flag.Float64("eps", 4, "privacy budget per user")
 	itemBytes = flag.Int("itembytes", 4, "item width in bytes")
-	proto     = flag.String("protocol", "pes", "pes | bitstogram | treehist")
+	proto     = flag.String("protocol", "pes", "registered protocol name, or 'all' for the Table 1 sweep")
+	transport = flag.String("transport", "inproc", "inproc | tcp (full report round trip over a real socket)")
 	load      = flag.String("workload", "planted", "planted | zipf | uniform")
 	zipfS     = flag.Float64("zipf-s", 1.1, "zipf exponent")
 	support   = flag.Int("support", 1000, "zipf/uniform support size")
 	seed      = flag.Uint64("seed", 1, "seed for all randomness")
 	y         = flag.Int("y", 64, "per-coordinate hash range (pes)")
 	workers   = flag.Int("workers", 0, "Identify worker-pool size (pes; 0 = GOMAXPROCS)")
-	jsonOut   = flag.Bool("json", false, "emit a JSON result object instead of text")
+	fleets    = flag.Int("fleets", 4, "concurrent sender connections (tcp transport)")
+	jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
+	outPath   = flag.String("out", "", "also write the (JSON) result to this file")
 )
 
 func main() {
 	flag.Parse()
-	res, err := runBench(benchConfig{
+	cfg := benchConfig{
 		N:         *n,
 		Eps:       *eps,
 		ItemBytes: *itemBytes,
 		Protocol:  *proto,
+		Transport: *transport,
 		Workload:  *load,
 		ZipfS:     *zipfS,
 		Support:   *support,
 		Seed:      *seed,
 		Y:         *y,
 		Workers:   *workers,
-	})
-	fatal(err)
-	if *jsonOut {
-		fatal(writeJSON(os.Stdout, res))
+		Fleets:    *fleets,
+	}
+	if *proto == "all" {
+		results, err := runAll(cfg)
+		fatal(err)
+		fatal(emit(func(w io.Writer) error { return writeJSONAll(w, results) }))
+		if !*jsonOut {
+			for _, res := range results {
+				writeText(os.Stdout, res)
+				fmt.Println()
+			}
+		}
 		return
 	}
-	writeText(os.Stdout, res)
+	res, err := runBench(cfg)
+	fatal(err)
+	fatal(emit(func(w io.Writer) error { return writeJSON(w, res) }))
+	if !*jsonOut {
+		writeText(os.Stdout, res)
+	}
+}
+
+// emit writes the JSON form to -out (when set) and to stdout (when -json
+// was requested).
+func emit(writeTo func(io.Writer) error) error {
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := writeTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		return writeTo(os.Stdout)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -80,6 +80,78 @@ func TestRunBenchBaselinesAndErrors(t *testing.T) {
 	if _, err := runBench(benchConfig{N: 1000, Eps: 4, ItemBytes: 2, Protocol: "pes", Workload: "nope", Seed: 1}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
+	if _, err := runBench(benchConfig{N: 1000, Eps: 4, ItemBytes: 2, Protocol: "pes", Workload: "planted", Transport: "nope", Seed: 1}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+	// Enumerable-domain protocols reject the planted workload's random
+	// filler instead of producing out-of-domain reports.
+	if _, err := runBench(benchConfig{N: 1000, Eps: 4, ItemBytes: 2, Protocol: "bassilysmith", Workload: "planted", Seed: 1}); err == nil {
+		t.Fatal("bassilysmith/planted accepted")
+	}
+}
+
+// TestRunBenchTCPTransport pins the -transport tcp path: the identical
+// round over a real socket produces the identical recall contract.
+func TestRunBenchTCPTransport(t *testing.T) {
+	res, err := runBench(benchConfig{
+		N: 8000, Eps: 4, ItemBytes: 2, Protocol: "smalldomain", Transport: "tcp",
+		Workload: "zipf", ZipfS: 1.4, Support: 100, Seed: 1, Fleets: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport != "tcp" {
+		t.Fatalf("transport = %q", res.Transport)
+	}
+	if res.Promised < 1 || res.Recalled < res.Promised {
+		t.Fatalf("promised %d, recalled %d over TCP", res.Promised, res.Recalled)
+	}
+	if res.BytesPerRep != 5 {
+		t.Fatalf("smalldomain bytes/report = %d, want 5", res.BytesPerRep)
+	}
+}
+
+// TestRunAllEmitsJSONArray drives the -protocol all sweep at a small size
+// and pins the artifact shape BENCH_table1.json consumers parse.
+func TestRunAllEmitsJSONArray(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full protocol rounds")
+	}
+	results, err := runAll(benchConfig{
+		N: 6000, Eps: 4, ItemBytes: 2, Workload: "planted",
+		ZipfS: 1.4, Support: 100, Seed: 1, Y: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(table1Protocols) {
+		t.Fatalf("%d results, want %d", len(results), len(table1Protocols))
+	}
+	var buf bytes.Buffer
+	if err := writeJSONAll(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Protocol      string  `json:"protocol"`
+		Workload      string  `json:"workload"`
+		ReportsPerSec float64 `json:"ingest_reports_per_sec"`
+		BytesPerRep   int     `json:"bytes_per_report"`
+		SketchBytes   int     `json:"sketch_bytes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	for i, row := range parsed {
+		if row.Protocol != table1Protocols[i] {
+			t.Errorf("row %d protocol %q, want %q", i, row.Protocol, table1Protocols[i])
+		}
+		if row.Workload != "zipf" {
+			t.Errorf("%s: sweep workload %q, want zipf", row.Protocol, row.Workload)
+		}
+		if row.ReportsPerSec <= 0 || row.BytesPerRep <= 0 || row.SketchBytes <= 0 {
+			t.Errorf("%s: degenerate throughput row %+v", row.Protocol, row)
+		}
+	}
 }
 
 // TestWriteText pins the human-readable report's load-bearing lines.

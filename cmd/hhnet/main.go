@@ -17,10 +17,16 @@
 // bit-identical against an in-process replay of the whole fleet — the
 // tree changes the deployment shape, never the Algorithm 1 output.
 //
+// With -protocol it deploys any registered protocol through the unified
+// surface instead: the same fleet round against the generic aggregation
+// server (protocol ID negotiated at connection time), verified against an
+// in-process replay. -tree and -shards remain PES-only demonstrations.
+//
 // Usage:
 //
 //	hhnet [-n 30000] [-fleets 8] [-addr 127.0.0.1:0] [-shards GOMAXPROCS] [-workers GOMAXPROCS]
 //	hhnet -tree [-leaves 4] [-n 30000] [-fleets 8]
+//	hhnet -protocol treehist [-n 30000] [-fleets 8]
 //
 // -workers sizes the Identify worker pool (core.Params.Workers); the
 // identification result is bit-identical at every worker count.
@@ -28,14 +34,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"os"
 	"runtime"
 	"sync"
 	"time"
 
+	"ldphh"
 	"ldphh/internal/core"
 	"ldphh/internal/protocol"
 	"ldphh/internal/workload"
@@ -52,12 +61,21 @@ var (
 	workers = flag.Int("workers", 0,
 		"Identify worker-pool size (0 = GOMAXPROCS); output is identical at any value")
 	tree = flag.Bool("tree", false,
-		"run a two-tier aggregation tree: leaves ingest, the root merges their snapshots")
-	leaves = flag.Int("leaves", 4, "leaf aggregator count in -tree mode")
+		"run a two-tier aggregation tree: leaves ingest, the root merges their snapshots (pes only)")
+	leaves    = flag.Int("leaves", 4, "leaf aggregator count in -tree mode")
+	protoName = flag.String("protocol", "pes",
+		"registered protocol to deploy (pes | smalldomain | bitstogram | treehist | bassilysmith | ...)")
 )
 
 func main() {
 	flag.Parse()
+	if *protoName != "pes" {
+		if *tree {
+			fatal(fmt.Errorf("-tree is a pes-only demonstration (snapshot merge trees); drop -protocol or -tree"))
+		}
+		runGeneric(*protoName)
+		return
+	}
 	params := core.Params{Eps: *eps, N: *n, ItemBytes: 4, Y: 64, Workers: *workers, Seed: *seed}
 	if *tree {
 		runTree(params)
@@ -151,6 +169,111 @@ func runTree(params core.Params) {
 	fatal(err)
 	assertSameEstimates(est, want)
 	fmt.Printf("tree identification matches the single-aggregator replay (%d items)\n", len(est))
+}
+
+// runGeneric deploys any registered protocol through the unified surface:
+// the same fleet shape as the PES round, but the server is a generic
+// aggregator negotiated by protocol ID, and the reports are
+// self-describing wire frames. The TCP identification is verified exactly
+// against an in-process replay into a second instance built from the same
+// options — the transport changes the deployment, never the output.
+func runGeneric(name string) {
+	kind, err := ldphh.ParseKind(name)
+	fatal(err)
+	const itemBytes, domain = 2, 256
+	item := func(i int) []byte {
+		ord := uint64(3 + i%200)
+		switch {
+		case i%10 < 3:
+			ord = 1
+		case i%10 < 5:
+			ord = 2
+		}
+		return []byte{byte(ord >> 8), byte(ord)}
+	}
+	opts := []ldphh.Option{
+		ldphh.WithEps(*eps), ldphh.WithN(*n), ldphh.WithItemBytes(itemBytes),
+		ldphh.WithSeed(*seed), ldphh.WithDomainSize(domain),
+	}
+	if kind == ldphh.KindHashtogram {
+		opts = append(opts, ldphh.WithCandidates([][]byte{item(0), item(3)}))
+	}
+	if kind == ldphh.KindSmallDomain || kind == ldphh.KindDirectHistogram {
+		// Floor the full-histogram scan at its β = 0.05 error envelope so
+		// the demo lists heavy hitters, not every noise-positive cell.
+		ceps := (math.Exp(*eps) + 1) / (math.Exp(*eps) - 1)
+		opts = append(opts, ldphh.WithMinCount(ceps*math.Sqrt(2*float64(*n)*math.Log(2/0.05))))
+	}
+	mk := func() ldphh.Protocol {
+		h, err := ldphh.New(kind, opts...)
+		fatal(err)
+		return h
+	}
+	device, agg := mk(), mk()
+	srv, err := ldphh.NewAggregationServer(agg, *addr)
+	fatal(err)
+	defer srv.Close()
+	fmt.Printf("generic aggregation server (%s) listening on %s\n", kind, srv.Addr())
+
+	// Device phase: each fleet derives its batch concurrently (Report never
+	// mutates shared state; randomness is per-goroutine).
+	batches := make([][]ldphh.WireReport, *fleets)
+	var wg sync.WaitGroup
+	errCh := make(chan error, *fleets)
+	for f := 0; f < *fleets; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(f), *seed))
+			var batch []ldphh.WireReport
+			for i := f; i < *n; i += *fleets {
+				wr, err := device.Report(item(i), i, rng)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				batch = append(batch, wr)
+			}
+			batches[f] = batch
+		}(f)
+	}
+	wg.Wait()
+	drain(errCh)
+
+	// Network phase.
+	ctx := context.Background()
+	start := time.Now()
+	for f := range batches {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			errCh <- ldphh.SendWireReports(ctx, srv.Addr(), batches[f])
+		}(f)
+	}
+	wg.Wait()
+	drain(errCh)
+	fmt.Printf("fleet of %d connections delivered %d reports in %v (%d payload + 2 header bytes each)\n",
+		*fleets, srv.Absorbed(), time.Since(start).Round(time.Millisecond), agg.BytesPerReport())
+
+	est, err := ldphh.RequestIdentifyContext(ctx, srv.Addr())
+	fatal(err)
+	fmt.Printf("identified %d heavy hitters:\n", len(est))
+	for i, e := range est {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %x  est=%8.0f\n", e.Item, e.Count)
+	}
+
+	// Verification: replay every report into a fresh instance in process.
+	replay := mk()
+	for _, batch := range batches {
+		fatal(replay.AbsorbBatch(batch))
+	}
+	want, err := replay.Identify(ctx)
+	fatal(err)
+	assertSameEstimates(est, want)
+	fmt.Printf("network identification matches the in-process replay (%d items)\n", len(est))
 }
 
 // deliver streams every fleet batch concurrently, fleet f to addrFor(f),

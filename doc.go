@@ -21,13 +21,22 @@
 //   - Section 6 — GenProt, the approximate-to-pure LDP purification.
 //   - Section 7 — the anti-concentration lower bound and its empirical
 //     tightness harness.
-//   - Transport — a TCP aggregation server with sharded concurrent
-//     ingestion: each connection absorbs into a private accumulator shard
-//     and merges once per batch, so heavy fleets never serialize behind a
+//   - Unified protocol surface — every protocol above satisfies one
+//     Reporter/Aggregator interface pair over self-describing wire-codable
+//     reports (internal/proto): ldphh.New(kind, ...Option) constructs any
+//     of them, AsMergeable detects snapshot/merge support, and the
+//     estimates all flow through the single ldphh.Estimate type.
+//   - Transport — one generic TCP aggregation server any Aggregator plugs
+//     into, negotiating the protocol ID at connection time, with sharded
+//     concurrent ingestion: each connection absorbs through windowed
+//     batches (for PrivateExpanderSketch, a private accumulator shard
+//     merged once per window), so heavy fleets never serialize behind a
 //     per-report lock. Servers also speak a snapshot/merge protocol
-//     (RequestSnapshot/PushSnapshot) so aggregators compose into fan-in
-//     trees: leaves ingest, the root merges their serialized state and
-//     identifies once.
+//     (RequestSnapshot/PushSnapshot) so Mergeable aggregators compose into
+//     fan-in trees: leaves ingest, the root merges their serialized state
+//     and identifies once. Every network client helper has a
+//     context.Context variant with real deadline and cancellation
+//     propagation.
 //
 // # Identify parallelism and determinism
 //
@@ -89,6 +98,16 @@
 //
 //	err = hh.AbsorbBatch(reports, runtime.GOMAXPROCS(0))
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table row and theorem.
+// The same round through the unified surface works for every protocol of
+// the paper's Table 1 comparison — only the Kind changes:
+//
+//	hh, err := ldphh.New(ldphh.PrivateExpanderSketch,
+//		ldphh.WithEps(2), ldphh.WithN(100000), ldphh.WithItemBytes(8))
+//	wr, err := hh.Report(item, i, rng)      // one self-describing WireReport
+//	err = hh.Absorb(wr)
+//	est, err := hh.Identify(ctx)
+//
+// See DESIGN.md for the system inventory: the layer diagram and wire codec
+// registry (§2), the parameter derivations (§3), the determinism and merge
+// contracts (§4) and the implementation substitutions S1-S5 (§5).
 package ldphh

@@ -1,11 +1,13 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"sort"
 
+	"ldphh/internal/freqoracle"
 	"ldphh/internal/hashing"
 	"ldphh/internal/ldp"
 )
@@ -64,6 +66,7 @@ type BassilySmithReport struct {
 // to O(n^2.5) with their identification tree; either way it is super-linear
 // and dominates PrivateExpanderSketch's O~(n); see DESIGN.md S3).
 type BassilySmith struct {
+	reportTally
 	p BassilySmithParams
 	// sign is 4-wise independent: the estimator correlates *products* of two
 	// projection entries across rows, and pairwise independence does not
@@ -74,7 +77,6 @@ type BassilySmith struct {
 	rr        ldp.BinaryRR
 	z         []float64
 	rowCounts []int
-	absorbed  int
 	finalized bool
 }
 
@@ -162,11 +164,25 @@ func (bs *BassilySmith) EstimateOrdinal(x uint64) float64 {
 // is at least minCount, sorted by decreasing estimate. Server time
 // O(|X|·Proj): the Table 1 super-linear cost.
 func (bs *BassilySmith) Identify(minCount float64) []Estimate {
+	est, _ := bs.IdentifyContext(context.Background(), minCount)
+	return est
+}
+
+// IdentifyContext is Identify with cancellation: the exhaustive scan is the
+// one super-linear server cost in the repository, so it checks the context
+// periodically (every 1024 ordinals) and aborts mid-scan when the deadline
+// passes or the caller cancels.
+func (bs *BassilySmith) IdentifyContext(ctx context.Context, minCount float64) ([]Estimate, error) {
 	bs.finalized = true
 	var out []Estimate
 	for x := uint64(0); x < uint64(bs.p.DomainSize); x++ {
+		if x%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if est := bs.EstimateOrdinal(x); est >= minCount {
-			out = append(out, Estimate{Item: ordinalBytes(x, bs.p.ItemBytes), Count: est})
+			out = append(out, Estimate{Item: freqoracle.OrdinalBytes(x, bs.p.ItemBytes), Count: est})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -175,7 +191,7 @@ func (bs *BassilySmith) Identify(minCount float64) []Estimate {
 		}
 		return string(out[i].Item) < string(out[j].Item)
 	})
-	return out
+	return out, nil
 }
 
 // ErrorBound returns the protocol's error envelope at failure probability
@@ -189,23 +205,14 @@ func (bs *BassilySmith) ErrorBound(beta float64) float64 {
 	return ceps * math.Sqrt(2*float64(bs.p.N)*math.Log(2*float64(bs.p.DomainSize)/beta))
 }
 
-// TotalReports returns the number of absorbed reports.
-func (bs *BassilySmith) TotalReports() int { return bs.absorbed }
-
 // SketchBytes returns resident server memory: the z vector is O(Proj) = O(n).
 func (bs *BassilySmith) SketchBytes() int { return 8*len(bs.z) + 8*len(bs.rowCounts) }
 
-// BytesPerReport returns the wire size of one user message.
-func (bs *BassilySmith) BytesPerReport() int { return 5 }
+// BytesPerReport returns the payload size of one user message.
+func (bs *BassilySmith) BytesPerReport() int { return bassilySmithPayloadBytes }
 
-func ordinalBytes(x uint64, width int) []byte {
-	b := make([]byte, width)
-	for i := width - 1; i >= 0; i-- {
-		b[i] = byte(x)
-		x >>= 8
-	}
-	return b
-}
+// ordinalBytes is the canonical ordinal encoding, shared repository-wide.
+func ordinalBytes(x uint64, width int) []byte { return freqoracle.OrdinalBytes(x, width) }
 
 // NonPrivate is the exact (no privacy) counter used as ground truth in
 // benches and examples.

@@ -28,13 +28,13 @@ import (
 	"ldphh/internal/freqoracle"
 	"ldphh/internal/hadamard"
 	"ldphh/internal/hashing"
+	"ldphh/internal/proto"
 )
 
-// Estimate mirrors core.Estimate for the baselines.
-type Estimate struct {
-	Item  []byte
-	Count float64
-}
+// Estimate is an alias of the repository-wide proto.Estimate (identical to
+// core.Estimate), so baseline output flows through the unified aggregation
+// surface without conversion.
+type Estimate = proto.Estimate
 
 // BitstogramParams configures the [3]-style protocol.
 type BitstogramParams struct {
@@ -99,6 +99,7 @@ type BitstogramReport struct {
 // server reads each bit as argmax{est(y,0), est(y,1)}, assembles the
 // candidate pre-image, and confirms candidates on the oracle.
 type Bitstogram struct {
+	reportTally
 	p        BitstogramParams
 	bits     int
 	hs       []hashing.KWise
@@ -107,7 +108,6 @@ type Bitstogram struct {
 	direct   [][]*freqoracle.DirectHistogram // [rep][bit]
 	conf     *freqoracle.Hashtogram
 	groupN   [][]int
-	absorbed int
 }
 
 // NewBitstogram constructs the server, drawing public randomness from Seed.
@@ -277,19 +277,16 @@ func (b *Bitstogram) MinRecoverableFrequency() float64 {
 // EstimateFrequency exposes the confirmation oracle after Identify.
 func (b *Bitstogram) EstimateFrequency(x []byte) float64 { return b.conf.Estimate(x) }
 
-// TotalReports returns the number of absorbed reports.
-func (b *Bitstogram) TotalReports() int { return b.absorbed }
-
 // SketchBytes returns resident server memory.
 func (b *Bitstogram) SketchBytes() int {
-	total := b.conf.SketchBytes()
+	parts := []sketchSized{b.conf}
 	for k := range b.direct {
 		for m := range b.direct[k] {
-			total += b.direct[k][m].SketchBytes()
+			parts = append(parts, b.direct[k][m])
 		}
 	}
-	return total
+	return totalSketchBytes(parts...)
 }
 
-// BytesPerReport returns the wire size of one user message.
-func (b *Bitstogram) BytesPerReport() int { return 16 }
+// BytesPerReport returns the payload size of one user message.
+func (b *Bitstogram) BytesPerReport() int { return bitstogramPayloadBytes }

@@ -1,0 +1,23 @@
+package baseline
+
+// reportTally is the shared absorbed-report counter every baseline embeds;
+// it replaces the per-protocol copy-pasted `absorbed` field + TotalReports
+// accessor. Concurrency follows the embedding protocol's rules (the
+// baselines are single-writer; the wire adapters add the locking).
+type reportTally struct{ absorbed int }
+
+// TotalReports returns the number of absorbed reports.
+func (t *reportTally) TotalReports() int { return t.absorbed }
+
+// sketchSized is anything that can report its resident byte size.
+type sketchSized interface{ SketchBytes() int }
+
+// totalSketchBytes sums resident memory across a protocol's constituent
+// sketches — the shared body of every baseline's SketchBytes accessor.
+func totalSketchBytes(parts ...sketchSized) int {
+	total := 0
+	for _, p := range parts {
+		total += p.SketchBytes()
+	}
+	return total
+}

@@ -23,13 +23,13 @@ import (
 // PrivateExpanderSketch, driving the failure probability β down requires
 // retuning thresholds by sqrt(log(1/β)).
 type TreeHist struct {
+	reportTally
 	p        TreeHistParams
 	levels   int
 	partHash hashing.KWise
 	oracles  []*freqoracle.Hashtogram
 	conf     *freqoracle.Hashtogram
 	levelN   []int
-	absorbed int
 }
 
 // TreeHistParams configures TreeHist.
@@ -254,17 +254,14 @@ func (t *TreeHist) MinRecoverableFrequency() float64 {
 // EstimateFrequency exposes the confirmation oracle after Identify.
 func (t *TreeHist) EstimateFrequency(x []byte) float64 { return t.conf.Estimate(x) }
 
-// TotalReports returns the number of absorbed reports.
-func (t *TreeHist) TotalReports() int { return t.absorbed }
-
 // SketchBytes returns resident server memory.
 func (t *TreeHist) SketchBytes() int {
-	total := t.conf.SketchBytes()
+	parts := []sketchSized{t.conf}
 	for _, o := range t.oracles {
-		total += o.SketchBytes()
+		parts = append(parts, o)
 	}
-	return total
+	return totalSketchBytes(parts...)
 }
 
-// BytesPerReport returns the wire size of one user message.
-func (t *TreeHist) BytesPerReport() int { return 16 }
+// BytesPerReport returns the payload size of one user message.
+func (t *TreeHist) BytesPerReport() int { return treeHistPayloadBytes }

@@ -1,0 +1,487 @@
+package baseline
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/proto"
+)
+
+// Wire codecs for the three Table 1 baselines (big endian).
+//
+// Bitstogram payload (16 bytes): rep u16 | bit-position u16 |
+// DirectReport (5) | HashtogramReport (7).
+//
+// TreeHist payload (16 bytes): level u16 | prefix HashtogramReport (7) |
+// confirmation HashtogramReport (7).
+//
+// BassilySmith payload (5 bytes): projection row u32 | ±1 bit byte.
+const (
+	bitstogramWireVersion   = 1
+	treeHistWireVersion     = 1
+	bassilySmithWireVersion = 1
+
+	bitstogramPayloadBytes   = 2 + 2 + freqoracle.DirectReportPayloadBytes + freqoracle.HashtogramReportPayloadBytes
+	treeHistPayloadBytes     = 2 + 2*freqoracle.HashtogramReportPayloadBytes
+	bassilySmithPayloadBytes = 4 + 1
+)
+
+func init() {
+	proto.Register(proto.Codec{
+		ID:           proto.IDBitstogram,
+		Name:         "bitstogram",
+		Version:      bitstogramWireVersion,
+		PayloadBytes: bitstogramPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := decodeBitstogramPayload(p)
+			return err
+		},
+	})
+	proto.Register(proto.Codec{
+		ID:           proto.IDTreeHist,
+		Name:         "treehist",
+		Version:      treeHistWireVersion,
+		PayloadBytes: treeHistPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := decodeTreeHistPayload(p)
+			return err
+		},
+	})
+	proto.Register(proto.Codec{
+		ID:           proto.IDBassilySmith,
+		Name:         "bassilysmith",
+		Version:      bassilySmithWireVersion,
+		PayloadBytes: bassilySmithPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := decodeBassilySmithPayload(p)
+			return err
+		},
+	})
+}
+
+func appendBitstogramPayload(dst []byte, rep BitstogramReport) ([]byte, error) {
+	if rep.Rep < 0 || rep.Rep > 0xffff {
+		return nil, fmt.Errorf("baseline: repetition %d does not fit the frame", rep.Rep)
+	}
+	if rep.Bit < 0 || rep.Bit > 0xffff {
+		return nil, fmt.Errorf("baseline: bit position %d does not fit the frame", rep.Bit)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rep.Rep))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rep.Bit))
+	dst = freqoracle.AppendDirectReport(dst, rep.Dir)
+	return freqoracle.AppendHashtogramReport(dst, rep.Conf)
+}
+
+func decodeBitstogramPayload(p []byte) (BitstogramReport, error) {
+	if len(p) != bitstogramPayloadBytes {
+		return BitstogramReport{}, fmt.Errorf("baseline: bitstogram payload length %d, want %d", len(p), bitstogramPayloadBytes)
+	}
+	dir, err := freqoracle.DecodeDirectReport(p[4 : 4+freqoracle.DirectReportPayloadBytes])
+	if err != nil {
+		return BitstogramReport{}, err
+	}
+	conf, err := freqoracle.DecodeHashtogramReport(p[4+freqoracle.DirectReportPayloadBytes:])
+	if err != nil {
+		return BitstogramReport{}, err
+	}
+	return BitstogramReport{
+		Rep:  int(binary.BigEndian.Uint16(p)),
+		Bit:  int(binary.BigEndian.Uint16(p[2:])),
+		Dir:  dir,
+		Conf: conf,
+	}, nil
+}
+
+func appendTreeHistPayload(dst []byte, rep TreeHistReport) ([]byte, error) {
+	if rep.Level < 0 || rep.Level > 0xffff {
+		return nil, fmt.Errorf("baseline: level %d does not fit the frame", rep.Level)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rep.Level))
+	dst, err := freqoracle.AppendHashtogramReport(dst, rep.Pref)
+	if err != nil {
+		return nil, err
+	}
+	return freqoracle.AppendHashtogramReport(dst, rep.Conf)
+}
+
+func decodeTreeHistPayload(p []byte) (TreeHistReport, error) {
+	if len(p) != treeHistPayloadBytes {
+		return TreeHistReport{}, fmt.Errorf("baseline: treehist payload length %d, want %d", len(p), treeHistPayloadBytes)
+	}
+	pref, err := freqoracle.DecodeHashtogramReport(p[2 : 2+freqoracle.HashtogramReportPayloadBytes])
+	if err != nil {
+		return TreeHistReport{}, err
+	}
+	conf, err := freqoracle.DecodeHashtogramReport(p[2+freqoracle.HashtogramReportPayloadBytes:])
+	if err != nil {
+		return TreeHistReport{}, err
+	}
+	return TreeHistReport{Level: int(binary.BigEndian.Uint16(p)), Pref: pref, Conf: conf}, nil
+}
+
+func appendBassilySmithPayload(dst []byte, rep BassilySmithReport) ([]byte, error) {
+	if rep.Row < 0 || int64(rep.Row) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("baseline: projection row %d does not fit the frame", rep.Row)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(rep.Row))
+	return append(dst, freqoracle.EncodeBit(rep.Bit)), nil
+}
+
+func decodeBassilySmithPayload(p []byte) (BassilySmithReport, error) {
+	if len(p) != bassilySmithPayloadBytes {
+		return BassilySmithReport{}, fmt.Errorf("baseline: bassilysmith payload length %d, want %d", len(p), bassilySmithPayloadBytes)
+	}
+	bit, err := freqoracle.DecodeBit(p[4])
+	if err != nil {
+		return BassilySmithReport{}, err
+	}
+	return BassilySmithReport{Row: int(binary.BigEndian.Uint32(p)), Bit: bit}, nil
+}
+
+// BitstogramWire adapts the [3]-style protocol to the unified
+// proto.Reporter/Aggregator surface. The underlying Bitstogram has no
+// internal locking, so the adapter serializes all access with its own
+// mutex.
+type BitstogramWire struct {
+	mu       sync.Mutex
+	b        *Bitstogram
+	minCount float64
+}
+
+// NewBitstogramWire constructs the protocol and its adapter; minCount is
+// the Identify floor (0 keeps everything).
+func NewBitstogramWire(params BitstogramParams, minCount float64) (*BitstogramWire, error) {
+	b, err := NewBitstogram(params)
+	if err != nil {
+		return nil, err
+	}
+	return &BitstogramWire{b: b, minCount: minCount}, nil
+}
+
+// Bitstogram exposes the wrapped protocol.
+func (w *BitstogramWire) Bitstogram() *Bitstogram { return w.b }
+
+// ProtocolID returns proto.IDBitstogram.
+func (w *BitstogramWire) ProtocolID() byte { return proto.IDBitstogram }
+
+// Report computes user userIdx's wire report for item x.
+func (w *BitstogramWire) Report(x []byte, userIdx int, rng *rand.Rand) (proto.WireReport, error) {
+	rep, err := w.b.Report(x, userIdx, rng)
+	if err != nil {
+		return nil, err
+	}
+	dst := proto.AppendHeader(make([]byte, 0, 2+bitstogramPayloadBytes), proto.IDBitstogram, bitstogramWireVersion)
+	dst, err = appendBitstogramPayload(dst, rep)
+	if err != nil {
+		return nil, err
+	}
+	return proto.WireReport(dst), nil
+}
+
+func (w *BitstogramWire) decode(wr proto.WireReport) (BitstogramReport, error) {
+	if err := proto.CheckHeader(wr, proto.IDBitstogram); err != nil {
+		return BitstogramReport{}, err
+	}
+	return decodeBitstogramPayload(wr.Payload())
+}
+
+// Absorb folds one wire report into the server state.
+func (w *BitstogramWire) Absorb(wr proto.WireReport) error {
+	rep, err := w.decode(wr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch under one lock acquisition, decoding and
+// validating before the lock; the valid prefix is absorbed and the first
+// error returned.
+func (w *BitstogramWire) AbsorbBatch(wrs []proto.WireReport) error {
+	reps := make([]BitstogramReport, 0, len(wrs))
+	var decodeErr error
+	for _, wr := range wrs {
+		rep, err := w.decode(wr)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		reps = append(reps, rep)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, rep := range reps {
+		if err := w.b.Absorb(rep); err != nil {
+			return err
+		}
+	}
+	return decodeErr
+}
+
+// Identify reconstructs and confirms candidates.
+func (w *BitstogramWire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Identify(w.minCount)
+}
+
+// TotalReports returns the number of absorbed reports.
+func (w *BitstogramWire) TotalReports() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.TotalReports()
+}
+
+// SketchBytes returns resident server memory.
+func (w *BitstogramWire) SketchBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.SketchBytes()
+}
+
+// BytesPerReport returns the payload size of one user message.
+func (w *BitstogramWire) BytesPerReport() int { return bitstogramPayloadBytes }
+
+// MinRecoverableFrequency forwards the configuration's recovery floor.
+func (w *BitstogramWire) MinRecoverableFrequency() float64 {
+	return w.b.MinRecoverableFrequency()
+}
+
+// TreeHistWire adapts the prefix-tree baseline to the unified surface,
+// adding the locking the bare protocol lacks.
+type TreeHistWire struct {
+	mu sync.Mutex
+	t  *TreeHist
+}
+
+// NewTreeHistWire constructs the protocol and its adapter.
+func NewTreeHistWire(params TreeHistParams) (*TreeHistWire, error) {
+	t, err := NewTreeHist(params)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeHistWire{t: t}, nil
+}
+
+// TreeHist exposes the wrapped protocol.
+func (w *TreeHistWire) TreeHist() *TreeHist { return w.t }
+
+// ProtocolID returns proto.IDTreeHist.
+func (w *TreeHistWire) ProtocolID() byte { return proto.IDTreeHist }
+
+// Report computes user userIdx's wire report for item x.
+func (w *TreeHistWire) Report(x []byte, userIdx int, rng *rand.Rand) (proto.WireReport, error) {
+	rep, err := w.t.Report(x, userIdx, rng)
+	if err != nil {
+		return nil, err
+	}
+	dst := proto.AppendHeader(make([]byte, 0, 2+treeHistPayloadBytes), proto.IDTreeHist, treeHistWireVersion)
+	dst, err = appendTreeHistPayload(dst, rep)
+	if err != nil {
+		return nil, err
+	}
+	return proto.WireReport(dst), nil
+}
+
+func (w *TreeHistWire) decode(wr proto.WireReport) (TreeHistReport, error) {
+	if err := proto.CheckHeader(wr, proto.IDTreeHist); err != nil {
+		return TreeHistReport{}, err
+	}
+	return decodeTreeHistPayload(wr.Payload())
+}
+
+// Absorb folds one wire report into the server state.
+func (w *TreeHistWire) Absorb(wr proto.WireReport) error {
+	rep, err := w.decode(wr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.t.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch under one lock acquisition, decoding and
+// validating before the lock; the valid prefix is absorbed and the first
+// error returned.
+func (w *TreeHistWire) AbsorbBatch(wrs []proto.WireReport) error {
+	reps := make([]TreeHistReport, 0, len(wrs))
+	var decodeErr error
+	for _, wr := range wrs {
+		rep, err := w.decode(wr)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		reps = append(reps, rep)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, rep := range reps {
+		if err := w.t.Absorb(rep); err != nil {
+			return err
+		}
+	}
+	return decodeErr
+}
+
+// Identify walks the prefix tree and confirms survivors.
+func (w *TreeHistWire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.t.Identify()
+}
+
+// TotalReports returns the number of absorbed reports.
+func (w *TreeHistWire) TotalReports() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.t.TotalReports()
+}
+
+// SketchBytes returns resident server memory.
+func (w *TreeHistWire) SketchBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.t.SketchBytes()
+}
+
+// BytesPerReport returns the payload size of one user message.
+func (w *TreeHistWire) BytesPerReport() int { return treeHistPayloadBytes }
+
+// MinRecoverableFrequency forwards the configuration's recovery floor.
+func (w *TreeHistWire) MinRecoverableFrequency() float64 {
+	return w.t.MinRecoverableFrequency()
+}
+
+// BassilySmithWire adapts the [4]-style succinct histogram to the unified
+// surface over items that are width-ItemBytes encodings of domain ordinals.
+type BassilySmithWire struct {
+	mu       sync.Mutex
+	bs       *BassilySmith
+	minCount float64
+}
+
+// NewBassilySmithWire constructs the protocol and its adapter. A zero
+// minCount defaults to the protocol's β = 0.05 error bound — without a
+// floor the exhaustive scan would emit a domain-sized list of noise.
+func NewBassilySmithWire(params BassilySmithParams, minCount float64) (*BassilySmithWire, error) {
+	bs, err := NewBassilySmith(params)
+	if err != nil {
+		return nil, err
+	}
+	if minCount == 0 {
+		minCount = bs.ErrorBound(0.05)
+	}
+	return &BassilySmithWire{bs: bs, minCount: minCount}, nil
+}
+
+// BassilySmith exposes the wrapped protocol.
+func (w *BassilySmithWire) BassilySmith() *BassilySmith { return w.bs }
+
+// ProtocolID returns proto.IDBassilySmith.
+func (w *BassilySmithWire) ProtocolID() byte { return proto.IDBassilySmith }
+
+// Report computes user userIdx's wire report for item x.
+func (w *BassilySmithWire) Report(x []byte, userIdx int, rng *rand.Rand) (proto.WireReport, error) {
+	v, err := freqoracle.OrdinalOf(x, w.bs.p.ItemBytes, w.bs.p.DomainSize)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := w.bs.Report(v, userIdx, rng)
+	if err != nil {
+		return nil, err
+	}
+	dst := proto.AppendHeader(make([]byte, 0, 2+bassilySmithPayloadBytes), proto.IDBassilySmith, bassilySmithWireVersion)
+	dst, err = appendBassilySmithPayload(dst, rep)
+	if err != nil {
+		return nil, err
+	}
+	return proto.WireReport(dst), nil
+}
+
+func (w *BassilySmithWire) decode(wr proto.WireReport) (BassilySmithReport, error) {
+	if err := proto.CheckHeader(wr, proto.IDBassilySmith); err != nil {
+		return BassilySmithReport{}, err
+	}
+	return decodeBassilySmithPayload(wr.Payload())
+}
+
+// Absorb folds one wire report into the accumulator.
+func (w *BassilySmithWire) Absorb(wr proto.WireReport) error {
+	rep, err := w.decode(wr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bs.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch under one lock acquisition, decoding and
+// validating before the lock; the valid prefix is absorbed and the first
+// error returned.
+func (w *BassilySmithWire) AbsorbBatch(wrs []proto.WireReport) error {
+	reps := make([]BassilySmithReport, 0, len(wrs))
+	var decodeErr error
+	for _, wr := range wrs {
+		rep, err := w.decode(wr)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		reps = append(reps, rep)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, rep := range reps {
+		if err := w.bs.Absorb(rep); err != nil {
+			return err
+		}
+	}
+	return decodeErr
+}
+
+// Identify runs the exhaustive O(|X|·Proj) scan. This is the one
+// super-linear Identify in the repository, so it honors context
+// cancellation periodically mid-scan, not just on entry.
+func (w *BassilySmithWire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bs.IdentifyContext(ctx, w.minCount)
+}
+
+// TotalReports returns the number of absorbed reports.
+func (w *BassilySmithWire) TotalReports() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bs.TotalReports()
+}
+
+// SketchBytes returns resident server memory.
+func (w *BassilySmithWire) SketchBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bs.SketchBytes()
+}
+
+// BytesPerReport returns the payload size of one user message.
+func (w *BassilySmithWire) BytesPerReport() int { return bassilySmithPayloadBytes }
+
+// MinRecoverableFrequency reports the protocol's β = 0.05 error bound.
+func (w *BassilySmithWire) MinRecoverableFrequency() float64 { return w.bs.ErrorBound(0.05) }

@@ -13,6 +13,7 @@ import (
 	"ldphh/internal/hashing"
 	"ldphh/internal/listrec"
 	"ldphh/internal/par"
+	"ldphh/internal/proto"
 )
 
 // Report is one user's single ε-LDP message: the user's coordinate group,
@@ -25,11 +26,10 @@ type Report struct {
 }
 
 // Estimate is one output row: an identified item and its estimated
-// multiplicity.
-type Estimate struct {
-	Item  []byte
-	Count float64
-}
+// multiplicity. It is an alias of the repository-wide proto.Estimate, so
+// estimates flow between protocols, the generic transport and the facade
+// without conversion.
+type Estimate = proto.Estimate
 
 // Protocol is the PrivateExpanderSketch server. Construct with New, have
 // each user call Report (the client-side computation), Absorb every report,

@@ -41,17 +41,7 @@ func NewSmallDomain(eps float64, itemBytes, domainSize int) (*SmallDomain, error
 
 // ordinal converts an item to its domain ordinal.
 func (s *SmallDomain) ordinal(x []byte) (uint64, error) {
-	if len(x) != s.itemBytes {
-		return 0, fmt.Errorf("core: item length %d, want %d", len(x), s.itemBytes)
-	}
-	var v uint64
-	for _, b := range x {
-		v = v<<8 | uint64(b)
-	}
-	if v >= uint64(s.domain) {
-		return 0, fmt.Errorf("core: item ordinal %d outside domain %d", v, s.domain)
-	}
-	return v, nil
+	return freqoracle.OrdinalOf(x, s.itemBytes, s.domain)
 }
 
 // Report computes one user's ε-LDP message.
@@ -76,13 +66,7 @@ func (s *SmallDomain) Identify(minCount float64) []Estimate {
 	var out []Estimate
 	for v, est := range hist {
 		if est >= minCount {
-			item := make([]byte, s.itemBytes)
-			u := uint64(v)
-			for i := s.itemBytes - 1; i >= 0; i-- {
-				item[i] = byte(u)
-				u >>= 8
-			}
-			out = append(out, Estimate{Item: item, Count: est})
+			out = append(out, Estimate{Item: freqoracle.OrdinalBytes(uint64(v), s.itemBytes), Count: est})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -108,5 +92,12 @@ func (s *SmallDomain) ErrorBound(n int, beta float64) float64 {
 	return s.direct.ErrorBound(n, beta)
 }
 
+// TotalReports returns the number of absorbed reports.
+func (s *SmallDomain) TotalReports() int { return s.direct.TotalReports() }
+
 // SketchBytes returns resident server memory: O(|X|).
 func (s *SmallDomain) SketchBytes() int { return s.direct.SketchBytes() }
+
+// BytesPerReport returns the payload size of one user message (a bare
+// DirectReport).
+func (s *SmallDomain) BytesPerReport() int { return freqoracle.DirectReportPayloadBytes }

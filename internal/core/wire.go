@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/proto"
+)
+
+// Wire codecs for the two protocols this package owns.
+//
+// PrivateExpanderSketch payload (big endian, ReportPayloadBytes = 14):
+//
+//	offset size field
+//	0      2    coordinate group m
+//	2      4    direct-report column
+//	6      1    direct-report bit (0 => -1, 1 => +1)
+//	7      2    confirmation row
+//	9      4    confirmation column
+//	13     1    confirmation bit
+//
+// SmallDomain payload is a bare freqoracle.DirectReport (5 bytes).
+const (
+	pesWireVersion         = 1
+	smallDomainWireVersion = 1
+)
+
+func init() {
+	proto.Register(proto.Codec{
+		ID:           proto.IDPrivateExpanderSketch,
+		Name:         "pes",
+		Version:      pesWireVersion,
+		PayloadBytes: ReportPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := DecodeReportPayload(p)
+			return err
+		},
+	})
+	proto.Register(proto.Codec{
+		ID:           proto.IDSmallDomain,
+		Name:         "smalldomain",
+		Version:      smallDomainWireVersion,
+		PayloadBytes: freqoracle.DirectReportPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := freqoracle.DecodeDirectReport(p)
+			return err
+		},
+	})
+}
+
+// AppendReportPayload appends the 14-byte PES report payload to dst.
+func AppendReportPayload(dst []byte, rep Report) ([]byte, error) {
+	if rep.M < 0 || rep.M > 0xffff {
+		return nil, fmt.Errorf("core: group %d does not fit the frame", rep.M)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rep.M))
+	dst = freqoracle.AppendDirectReport(dst, rep.Dir)
+	return freqoracle.AppendHashtogramReport(dst, rep.Conf)
+}
+
+// DecodeReportPayload parses a 14-byte PES report payload.
+func DecodeReportPayload(p []byte) (Report, error) {
+	if len(p) != ReportPayloadBytes {
+		return Report{}, fmt.Errorf("core: payload length %d, want %d", len(p), ReportPayloadBytes)
+	}
+	dir, err := freqoracle.DecodeDirectReport(p[2 : 2+freqoracle.DirectReportPayloadBytes])
+	if err != nil {
+		return Report{}, err
+	}
+	conf, err := freqoracle.DecodeHashtogramReport(p[2+freqoracle.DirectReportPayloadBytes:])
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{M: int(binary.BigEndian.Uint16(p)), Dir: dir, Conf: conf}, nil
+}
+
+// EncodeReportWire serializes a PES report into a self-describing wire
+// report ([ID][version][14-byte payload]).
+func EncodeReportWire(rep Report) (proto.WireReport, error) {
+	dst := proto.AppendHeader(make([]byte, 0, 2+ReportPayloadBytes), proto.IDPrivateExpanderSketch, pesWireVersion)
+	dst, err := AppendReportPayload(dst, rep)
+	if err != nil {
+		return nil, err
+	}
+	return proto.WireReport(dst), nil
+}
+
+// DecodeReportWire parses and validates a PES wire report.
+func DecodeReportWire(wr proto.WireReport) (Report, error) {
+	if err := proto.CheckHeader(wr, proto.IDPrivateExpanderSketch); err != nil {
+		return Report{}, err
+	}
+	return DecodeReportPayload(wr.Payload())
+}
+
+// PESWire adapts PrivateExpanderSketch to the unified
+// proto.Reporter/Aggregator/Mergeable surface. The underlying Protocol is
+// already safe for concurrent use (its own mutex), so the adapter adds no
+// locking; batch absorption goes through a private Accumulator shard and
+// one Merge — one lock acquisition per batch, the same contention profile
+// the sharded TCP server always had.
+type PESWire struct{ pr *Protocol }
+
+// NewPESWire constructs the protocol and its adapter in one step.
+func NewPESWire(params Params) (*PESWire, error) {
+	pr, err := New(params)
+	if err != nil {
+		return nil, err
+	}
+	return &PESWire{pr: pr}, nil
+}
+
+// Wire returns the unified-API adapter for an existing protocol instance.
+func (pr *Protocol) Wire() *PESWire { return &PESWire{pr: pr} }
+
+// Protocol exposes the wrapped instance (public randomness for clients,
+// snapshot fingerprints, EstimateFrequency after Identify).
+func (w *PESWire) Protocol() *Protocol { return w.pr }
+
+// ProtocolID returns proto.IDPrivateExpanderSketch.
+func (w *PESWire) ProtocolID() byte { return proto.IDPrivateExpanderSketch }
+
+// Report computes user userIdx's wire report for item x.
+func (w *PESWire) Report(x []byte, userIdx int, rng *rand.Rand) (proto.WireReport, error) {
+	rep, err := w.pr.Report(x, userIdx, rng)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeReportWire(rep)
+}
+
+// Absorb folds one wire report into the server state.
+func (w *PESWire) Absorb(wr proto.WireReport) error {
+	rep, err := DecodeReportWire(wr)
+	if err != nil {
+		return err
+	}
+	return w.pr.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch through a private accumulator shard and one
+// Merge. Every report up to the first invalid one is absorbed (the valid
+// prefix counts, exactly as under per-report absorption) and the first
+// error is returned.
+func (w *PESWire) AbsorbBatch(wrs []proto.WireReport) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	acc := w.pr.NewAccumulator()
+	var firstErr error
+	for _, wr := range wrs {
+		rep, err := DecodeReportWire(wr)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if err := acc.Absorb(rep); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if acc.Absorbed() > 0 {
+		if err := w.pr.Merge(acc); err != nil {
+			return err
+		}
+	}
+	return firstErr
+}
+
+// Identify runs the Algorithm 1 reconstruction. The context is checked on
+// entry; the reconstruction itself is O~(n) and bounded by Params.Workers.
+func (w *PESWire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return w.pr.Identify()
+}
+
+// TotalReports returns the number of absorbed reports.
+func (w *PESWire) TotalReports() int { return w.pr.TotalReports() }
+
+// SketchBytes returns resident server memory.
+func (w *PESWire) SketchBytes() int { return w.pr.SketchBytes() }
+
+// BytesPerReport returns the payload size of one user message.
+func (w *PESWire) BytesPerReport() int { return w.pr.BytesPerReport() }
+
+// MinRecoverableFrequency forwards the configuration's recovery floor.
+func (w *PESWire) MinRecoverableFrequency() float64 {
+	return w.pr.Params().MinRecoverableFrequency()
+}
+
+// Snapshot serializes the accumulated state (proto.Mergeable).
+func (w *PESWire) Snapshot() ([]byte, error) { return w.pr.Snapshot() }
+
+// Restore rehydrates a checkpoint (proto.Mergeable).
+func (w *PESWire) Restore(buf []byte) error { return w.pr.Restore(buf) }
+
+// MergeSnapshot folds a sibling aggregator's snapshot in (proto.Mergeable).
+func (w *PESWire) MergeSnapshot(buf []byte) error { return w.pr.MergeSnapshot(buf) }
+
+// SmallDomainWire adapts the enumerable-domain protocol to the unified
+// surface. SmallDomain is a full-budget DirectHistogram over the explicit
+// domain, so the adapter *is* freqoracle.DirectHistogramWire under the
+// smalldomain codec identity — one implementation, two registered
+// protocols.
+type SmallDomainWire struct {
+	*freqoracle.DirectHistogramWire
+}
+
+// NewSmallDomainWire constructs the protocol and its adapter. n is the
+// expected user count (sizing hint for the recovery floor); minCount drops
+// Identify output below the floor (0 keeps everything).
+func NewSmallDomainWire(eps float64, itemBytes, domainSize, n int, minCount float64) (*SmallDomainWire, error) {
+	w, err := freqoracle.NewDirectHistogramWireAs(
+		proto.IDSmallDomain, smallDomainWireVersion, eps, itemBytes, domainSize, n, minCount)
+	if err != nil {
+		return nil, err
+	}
+	return &SmallDomainWire{DirectHistogramWire: w}, nil
+}

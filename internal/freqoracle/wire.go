@@ -1,0 +1,488 @@
+package freqoracle
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"ldphh/internal/proto"
+)
+
+// Wire payload primitives shared by every protocol whose reports are built
+// from the two oracle report types. All layouts are big endian; a ±1 bit is
+// one byte (0 => -1, 1 => +1).
+const (
+	// DirectReportPayloadBytes is a DirectReport on the wire: col u32 + bit.
+	DirectReportPayloadBytes = 4 + 1
+	// HashtogramReportPayloadBytes is a HashtogramReport on the wire:
+	// row u16 + col u32 + bit.
+	HashtogramReportPayloadBytes = 2 + 4 + 1
+)
+
+// EncodeBit maps a ±1 report bit to its wire byte.
+func EncodeBit(b int8) byte {
+	if b > 0 {
+		return 1
+	}
+	return 0
+}
+
+// DecodeBit maps a wire byte back to a ±1 report bit, rejecting anything
+// but the two legal encodings.
+func DecodeBit(b byte) (int8, error) {
+	switch b {
+	case 0:
+		return -1, nil
+	case 1:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("freqoracle: invalid bit byte %d", b)
+	}
+}
+
+// AppendDirectReport appends the 5-byte DirectReport payload to dst.
+func AppendDirectReport(dst []byte, rep DirectReport) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, rep.Col)
+	return append(dst, EncodeBit(rep.Bit))
+}
+
+// DecodeDirectReport parses a 5-byte DirectReport payload.
+func DecodeDirectReport(p []byte) (DirectReport, error) {
+	if len(p) != DirectReportPayloadBytes {
+		return DirectReport{}, fmt.Errorf("freqoracle: direct payload length %d, want %d", len(p), DirectReportPayloadBytes)
+	}
+	bit, err := DecodeBit(p[4])
+	if err != nil {
+		return DirectReport{}, err
+	}
+	return DirectReport{Col: binary.BigEndian.Uint32(p), Bit: bit}, nil
+}
+
+// AppendHashtogramReport appends the 7-byte HashtogramReport payload to dst.
+func AppendHashtogramReport(dst []byte, rep HashtogramReport) ([]byte, error) {
+	if rep.Row < 0 || rep.Row > 0xffff {
+		return nil, fmt.Errorf("freqoracle: report row %d does not fit the frame", rep.Row)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(rep.Row))
+	dst = binary.BigEndian.AppendUint32(dst, rep.Col)
+	return append(dst, EncodeBit(rep.Bit)), nil
+}
+
+// DecodeHashtogramReport parses a 7-byte HashtogramReport payload.
+func DecodeHashtogramReport(p []byte) (HashtogramReport, error) {
+	if len(p) != HashtogramReportPayloadBytes {
+		return HashtogramReport{}, fmt.Errorf("freqoracle: hashtogram payload length %d, want %d", len(p), HashtogramReportPayloadBytes)
+	}
+	bit, err := DecodeBit(p[6])
+	if err != nil {
+		return HashtogramReport{}, err
+	}
+	return HashtogramReport{
+		Row: int(binary.BigEndian.Uint16(p)),
+		Col: binary.BigEndian.Uint32(p[2:]),
+		Bit: bit,
+	}, nil
+}
+
+const (
+	hashtogramWireVersion = 1
+	directWireVersion     = 1
+)
+
+func init() {
+	proto.Register(proto.Codec{
+		ID:           proto.IDHashtogram,
+		Name:         "hashtogram",
+		Version:      hashtogramWireVersion,
+		PayloadBytes: HashtogramReportPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := DecodeHashtogramReport(p)
+			return err
+		},
+	})
+	proto.Register(proto.Codec{
+		ID:           proto.IDDirectHistogram,
+		Name:         "directhistogram",
+		Version:      directWireVersion,
+		PayloadBytes: DirectReportPayloadBytes,
+		Validate: func(p []byte) error {
+			_, err := DecodeDirectReport(p)
+			return err
+		},
+	})
+}
+
+// OrdinalBytes encodes a domain ordinal as a canonical big-endian item of
+// the given width (the inverse of OrdinalOf).
+func OrdinalBytes(x uint64, width int) []byte {
+	b := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		b[i] = byte(x)
+		x >>= 8
+	}
+	return b
+}
+
+// OrdinalOf decodes a width-checked item into its domain ordinal, rejecting
+// values outside [0, domain).
+func OrdinalOf(x []byte, itemBytes, domain int) (uint64, error) {
+	if len(x) != itemBytes {
+		return 0, fmt.Errorf("freqoracle: item length %d, want %d", len(x), itemBytes)
+	}
+	var v uint64
+	for _, b := range x {
+		v = v<<8 | uint64(b)
+	}
+	if v >= uint64(domain) {
+		return 0, fmt.Errorf("freqoracle: item ordinal %d outside domain %d", v, domain)
+	}
+	return v, nil
+}
+
+// HashtogramWire adapts the Theorem 3.7 oracle to the unified
+// proto.Reporter/Aggregator surface. A frequency oracle answers point
+// queries, not open-ended identification, so Identify estimates an explicit
+// candidate set fixed at construction (the "known dictionary" deployment —
+// e.g. a URL allowlist) and returns those reaching minCount. The adapter
+// serializes access with its own mutex: the underlying oracle is not safe
+// for concurrent use.
+type HashtogramWire struct {
+	mu         sync.Mutex
+	h          *Hashtogram
+	candidates [][]byte
+	minCount   float64
+}
+
+// NewHashtogramWire constructs the adapter around a fresh oracle.
+// candidates is the Identify query set (may be nil for ingest-only use, in
+// which case Identify fails); minCount drops estimates below the floor.
+func NewHashtogramWire(params HashtogramParams, candidates [][]byte, minCount float64) (*HashtogramWire, error) {
+	h, err := NewHashtogram(params)
+	if err != nil {
+		return nil, err
+	}
+	return &HashtogramWire{h: h, candidates: candidates, minCount: minCount}, nil
+}
+
+// Oracle exposes the wrapped Hashtogram (for post-Identify point queries).
+func (w *HashtogramWire) Oracle() *Hashtogram { return w.h }
+
+// ProtocolID returns proto.IDHashtogram.
+func (w *HashtogramWire) ProtocolID() byte { return proto.IDHashtogram }
+
+// Report computes user userIdx's wire report for item x.
+func (w *HashtogramWire) Report(x []byte, userIdx int, rng *rand.Rand) (proto.WireReport, error) {
+	rep := w.h.Report(x, userIdx, rng)
+	dst := proto.AppendHeader(make([]byte, 0, 2+HashtogramReportPayloadBytes), proto.IDHashtogram, hashtogramWireVersion)
+	dst, err := AppendHashtogramReport(dst, rep)
+	if err != nil {
+		return nil, err
+	}
+	return proto.WireReport(dst), nil
+}
+
+func (w *HashtogramWire) decode(wr proto.WireReport) (HashtogramReport, error) {
+	if err := proto.CheckHeader(wr, proto.IDHashtogram); err != nil {
+		return HashtogramReport{}, err
+	}
+	return DecodeHashtogramReport(wr.Payload())
+}
+
+// Absorb folds one wire report into the oracle.
+func (w *HashtogramWire) Absorb(wr proto.WireReport) error {
+	rep, err := w.decode(wr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.h.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch under one lock acquisition. Decoding and
+// validation run before the lock — concurrent connections only serialize
+// on the counter updates — and the valid prefix is absorbed with the
+// first error returned.
+func (w *HashtogramWire) AbsorbBatch(wrs []proto.WireReport) error {
+	reps := make([]HashtogramReport, 0, len(wrs))
+	var decodeErr error
+	for _, wr := range wrs {
+		rep, err := w.decode(wr)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		reps = append(reps, rep)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, rep := range reps {
+		if err := w.h.Absorb(rep); err != nil {
+			return err
+		}
+	}
+	return decodeErr
+}
+
+// Identify finalizes the oracle and estimates the candidate set.
+func (w *HashtogramWire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(w.candidates) == 0 {
+		return nil, fmt.Errorf("freqoracle: Hashtogram Identify needs a candidate set (a frequency oracle cannot enumerate an open domain)")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.h.Finalize()
+	out := make([]proto.Estimate, 0, len(w.candidates))
+	for _, c := range w.candidates {
+		if est := w.h.Estimate(c); est >= w.minCount {
+			out = append(out, proto.Estimate{Item: append([]byte(nil), c...), Count: est})
+		}
+	}
+	sortEstimatesDesc(out)
+	return out, nil
+}
+
+// TotalReports returns the number of absorbed reports.
+func (w *HashtogramWire) TotalReports() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.h.TotalReports()
+}
+
+// SketchBytes returns resident server memory.
+func (w *HashtogramWire) SketchBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.h.SketchBytes()
+}
+
+// BytesPerReport returns the payload size of one user message.
+func (w *HashtogramWire) BytesPerReport() int { return HashtogramReportPayloadBytes }
+
+// MinRecoverableFrequency reports the oracle's per-query error envelope at
+// β = 0.05 — the smallest count reliably distinguishable from zero.
+func (w *HashtogramWire) MinRecoverableFrequency() float64 { return w.h.ErrorBound(0.05) }
+
+// Snapshot serializes the oracle's accumulated state (proto.Mergeable).
+func (w *HashtogramWire) Snapshot() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.h.Snapshot()
+}
+
+// Restore rehydrates a checkpoint (proto.Mergeable).
+func (w *HashtogramWire) Restore(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.h.Restore(buf)
+}
+
+// MergeSnapshot folds a sibling aggregator's snapshot into this one by
+// rehydrating it into a fresh shard and merging (proto.Mergeable).
+func (w *HashtogramWire) MergeSnapshot(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	acc := w.h.NewAccumulator()
+	if err := acc.Restore(buf); err != nil {
+		return err
+	}
+	return w.h.Merge(acc)
+}
+
+// DirectHistogramWire adapts the Theorem 3.8 oracle to the unified surface
+// over items that are width-itemBytes encodings of ordinals [0, domain).
+// Identify scans the whole reconstructed histogram — O(domain) — which is
+// exactly the enumerable-domain regime this oracle is for.
+//
+// The adapter is also the shared implementation behind every codec whose
+// payload is a bare DirectReport: core.SmallDomainWire is this adapter
+// under the smalldomain protocol identity (NewDirectHistogramWireAs).
+type DirectHistogramWire struct {
+	mu        sync.Mutex
+	d         *DirectHistogram
+	id        byte
+	version   byte
+	itemBytes int
+	minCount  float64
+	n         int // sizing hint for the error envelope
+}
+
+// NewDirectHistogramWire constructs the adapter around a fresh oracle.
+func NewDirectHistogramWire(eps float64, itemBytes, domain int, n int, minCount float64) (*DirectHistogramWire, error) {
+	return NewDirectHistogramWireAs(proto.IDDirectHistogram, directWireVersion, eps, itemBytes, domain, n, minCount)
+}
+
+// NewDirectHistogramWireAs constructs the adapter under a different
+// registered codec identity whose payload layout is a bare DirectReport
+// (the smalldomain codec). The identity must be registered before any
+// report flows.
+func NewDirectHistogramWireAs(id, version byte, eps float64, itemBytes, domain, n int, minCount float64) (*DirectHistogramWire, error) {
+	if itemBytes < 1 || itemBytes > 8 {
+		return nil, fmt.Errorf("freqoracle: DirectHistogramWire supports ItemBytes in [1,8], got %d", itemBytes)
+	}
+	if itemBytes < 8 && uint64(domain) > uint64(1)<<(8*itemBytes) {
+		return nil, fmt.Errorf("freqoracle: domain %d exceeds the item width", domain)
+	}
+	d, err := NewDirectHistogram(eps, domain)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectHistogramWire{d: d, id: id, version: version, itemBytes: itemBytes, minCount: minCount, n: n}, nil
+}
+
+// Oracle exposes the wrapped DirectHistogram.
+func (w *DirectHistogramWire) Oracle() *DirectHistogram { return w.d }
+
+// ProtocolID returns the configured codec identity
+// (proto.IDDirectHistogram unless constructed with
+// NewDirectHistogramWireAs).
+func (w *DirectHistogramWire) ProtocolID() byte { return w.id }
+
+// Report computes the user's wire report for item x (userIdx is unused:
+// the oracle has no user partition).
+func (w *DirectHistogramWire) Report(x []byte, _ int, rng *rand.Rand) (proto.WireReport, error) {
+	v, err := OrdinalOf(x, w.itemBytes, w.d.Domain())
+	if err != nil {
+		return nil, err
+	}
+	rep, err := w.d.Report(v, rng)
+	if err != nil {
+		return nil, err
+	}
+	dst := proto.AppendHeader(make([]byte, 0, 2+DirectReportPayloadBytes), w.id, w.version)
+	return proto.WireReport(AppendDirectReport(dst, rep)), nil
+}
+
+func (w *DirectHistogramWire) decode(wr proto.WireReport) (DirectReport, error) {
+	if err := proto.CheckHeader(wr, w.id); err != nil {
+		return DirectReport{}, err
+	}
+	return DecodeDirectReport(wr.Payload())
+}
+
+// Absorb folds one wire report into the oracle.
+func (w *DirectHistogramWire) Absorb(wr proto.WireReport) error {
+	rep, err := w.decode(wr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.d.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch under one lock acquisition, decoding and
+// validating before the lock; the valid prefix is absorbed and the first
+// error returned.
+func (w *DirectHistogramWire) AbsorbBatch(wrs []proto.WireReport) error {
+	reps := make([]DirectReport, 0, len(wrs))
+	var decodeErr error
+	for _, wr := range wrs {
+		rep, err := w.decode(wr)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		reps = append(reps, rep)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, rep := range reps {
+		if err := w.d.Absorb(rep); err != nil {
+			return err
+		}
+	}
+	return decodeErr
+}
+
+// Identify reconstructs the histogram and returns every ordinal whose
+// estimate reaches minCount, sorted by decreasing estimate.
+func (w *DirectHistogramWire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.d.Finalize()
+	hist := w.d.HistogramView()
+	var out []proto.Estimate
+	for v, est := range hist {
+		if est >= w.minCount {
+			out = append(out, proto.Estimate{Item: OrdinalBytes(uint64(v), w.itemBytes), Count: est})
+		}
+	}
+	sortEstimatesDesc(out)
+	return out, nil
+}
+
+// TotalReports returns the number of absorbed reports.
+func (w *DirectHistogramWire) TotalReports() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.d.TotalReports()
+}
+
+// SketchBytes returns resident server memory.
+func (w *DirectHistogramWire) SketchBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.d.SketchBytes()
+}
+
+// BytesPerReport returns the payload size of one user message.
+func (w *DirectHistogramWire) BytesPerReport() int { return DirectReportPayloadBytes }
+
+// MinRecoverableFrequency reports the per-query error envelope at β = 0.05.
+func (w *DirectHistogramWire) MinRecoverableFrequency() float64 {
+	n := w.n
+	if n < 1 {
+		n = w.d.TotalReports()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return w.d.ErrorBound(n, 0.05)
+}
+
+// Snapshot serializes the oracle's accumulated state (proto.Mergeable).
+func (w *DirectHistogramWire) Snapshot() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.d.Snapshot()
+}
+
+// Restore rehydrates a checkpoint (proto.Mergeable).
+func (w *DirectHistogramWire) Restore(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.d.Restore(buf)
+}
+
+// MergeSnapshot folds a sibling's snapshot in via a fresh shard
+// (proto.Mergeable).
+func (w *DirectHistogramWire) MergeSnapshot(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	acc := w.d.NewAccumulator()
+	if err := acc.Restore(buf); err != nil {
+		return err
+	}
+	return w.d.Merge(acc)
+}
+
+// sortEstimatesDesc sorts by decreasing count, ties by ascending item bytes
+// — the strict total order every Identify in the repository returns.
+func sortEstimatesDesc(est []proto.Estimate) {
+	sort.Slice(est, func(i, j int) bool {
+		if est[i].Count != est[j].Count {
+			return est[i].Count > est[j].Count
+		}
+		return string(est[i].Item) < string(est[j].Item)
+	})
+}

@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeWireReport: arbitrary bytes must never panic the registry-level
+// decoder, and anything it accepts must satisfy the wire-report invariants
+// (registered ID, matching codec version, exact frame length) and return
+// the input bytes unchanged.
+func FuzzDecodeWireReport(f *testing.F) {
+	registerTestCodec()
+	f.Add([]byte{})
+	f.Add([]byte{testID})
+	f.Add([]byte(NewWireReport(testID, testVersion, make([]byte, testPayload))))
+	f.Add([]byte(NewWireReport(testID, testVersion, []byte{0xff, 0, 0, 0})))
+	f.Add(bytes.Repeat([]byte{0xff}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wr, err := DecodeWireReport(data)
+		if err != nil {
+			return // rejected input; not panicking is the invariant
+		}
+		if !bytes.Equal(wr, data) {
+			t.Fatalf("accepted report %x differs from input %x", wr, data)
+		}
+		c, ok := Lookup(wr.ProtocolID())
+		if !ok {
+			t.Fatalf("accepted report with unregistered ID %#02x", wr.ProtocolID())
+		}
+		if wr.Version() != c.Version {
+			t.Fatalf("accepted report version %d, codec version %d", wr.Version(), c.Version)
+		}
+		if len(wr) != c.FrameBytes() {
+			t.Fatalf("accepted report length %d, codec frame %d", len(wr), c.FrameBytes())
+		}
+	})
+}
+
+// wireCorpusDir holds the checked-in seed corpus for FuzzDecodeWireReport.
+// The Go fuzzer picks these up automatically with -fuzz, and
+// TestDecodeWireReportCorpus replays them in every plain `go test` run so
+// promoted regressions stay covered without the fuzzer.
+const wireCorpusDir = "testdata/fuzz/FuzzDecodeWireReport"
+
+// readCorpusEntry parses one file in Go's `go test fuzz v1` corpus format.
+func readCorpusEntry(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("corpus file %s: want version header plus one value line, got %d lines", path, len(lines))
+	}
+	lit := lines[1]
+	const prefix, suffix = `[]byte(`, `)`
+	if !strings.HasPrefix(lit, prefix) || !strings.HasSuffix(lit, suffix) {
+		return nil, fmt.Errorf("corpus file %s: value %q is not a []byte literal", path, lit)
+	}
+	s, err := strconv.Unquote(lit[len(prefix) : len(lit)-len(suffix)])
+	if err != nil {
+		return nil, fmt.Errorf("corpus file %s: %w", path, err)
+	}
+	return []byte(s), nil
+}
+
+// TestDecodeWireReportCorpus replays the seed corpus through the same
+// invariant the fuzz target enforces, and pins the accept/reject verdict
+// encoded in each entry's name (accept-* entries must decode, reject-*
+// entries must not).
+func TestDecodeWireReportCorpus(t *testing.T) {
+	registerTestCodec()
+	entries, err := os.ReadDir(wireCorpusDir)
+	if err != nil {
+		t.Fatalf("reading seed corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus is empty")
+	}
+	for _, entry := range entries {
+		if entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		data, err := readCorpusEntry(filepath.Join(wireCorpusDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			wr, err := DecodeWireReport(data)
+			switch {
+			case strings.HasPrefix(name, "accept-"):
+				if err != nil {
+					t.Fatalf("expected accept, got %v", err)
+				}
+				if !bytes.Equal(wr, data) {
+					t.Fatalf("accepted report differs from input")
+				}
+			case strings.HasPrefix(name, "reject-"):
+				if err == nil {
+					t.Fatal("expected reject, decoded successfully")
+				}
+			default:
+				t.Fatalf("corpus entry %q must be named accept-* or reject-*", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+// Package proto defines the unified protocol abstraction every heavy-hitters
+// protocol in this repository plugs into: a device-side Reporter that turns
+// one user's item into a self-describing wire-codable report, a server-side
+// Aggregator that absorbs wire reports and identifies the heavy hitters, and
+// an optional Mergeable capability for aggregators whose accumulated state
+// snapshots and merges (the fan-in tree deployments).
+//
+// The paper's Table 1 is a cross-protocol comparison — PrivateExpanderSketch
+// against Bitstogram/TreeHist (Bassily–Nissim–Stemmer–Thakurta, NIPS 2017)
+// and a Bassily–Smith (STOC 2015) succinct histogram — and this package is
+// what makes that comparison operational: every protocol speaks the same
+// aggregation surface, so one generic TCP server, one benchmark harness and
+// one merge tree drive them all. See DESIGN.md §2 for the layer diagram.
+//
+// proto sits at the bottom of the dependency tree: it imports none of the
+// protocol packages. Each protocol package (internal/core, internal/baseline,
+// internal/freqoracle) registers its wire codec with Register in an init
+// function and exposes an adapter type satisfying the interfaces.
+package proto
+
+import (
+	"context"
+	"math/rand/v2"
+)
+
+// Protocol IDs. Each registered wire codec owns exactly one; the byte is the
+// first byte of every WireReport and the negotiation byte that opens every
+// TCP connection. IDs are append-only: never reuse a retired value.
+const (
+	// IDWildcard is not a protocol: clients send it in the connection
+	// preamble for control commands (identify, snapshot) that work against
+	// any server protocol.
+	IDWildcard byte = 0x00
+
+	IDPrivateExpanderSketch byte = 0x01 // Algorithm 1, Theorem 3.13
+	IDSmallDomain           byte = 0x02 // enumerable-domain variant (after Theorem 3.13)
+	IDHashtogram            byte = 0x03 // frequency oracle, Theorem 3.7
+	IDDirectHistogram       byte = 0x04 // frequency oracle, Theorem 3.8
+	IDBitstogram            byte = 0x05 // Bassily et al. NIPS 2017 [3]
+	IDTreeHist              byte = 0x06 // prefix-tree protocol of [3]
+	IDBassilySmith          byte = 0x07 // Bassily–Smith STOC 2015 style [4]
+)
+
+// Estimate is one identified item with its estimated multiplicity. It is the
+// single estimate type every protocol in the repository returns
+// (core.Estimate, baseline.Estimate and ldphh.Estimate are aliases).
+type Estimate struct {
+	Item  []byte
+	Count float64
+}
+
+// WireReport is one user's single ε-LDP message in self-describing framed
+// form:
+//
+//	offset 0: protocol ID (the codec registry key)
+//	offset 1: codec version
+//	offset 2: protocol-specific payload, Codec.PayloadBytes long
+//
+// The two header bytes make any report stream self-identifying — an
+// aggregator can reject a report from the wrong protocol or a future codec
+// version before touching the payload — while BytesPerReport (the Table 1
+// communication metric) keeps counting only the payload, exactly as every
+// protocol's paper framing does.
+type WireReport []byte
+
+// headerBytes is the [protocol ID][codec version] prefix of every report.
+const headerBytes = 2
+
+// ProtocolID returns the protocol ID byte (0 for a report too short to
+// carry one — never a registered ID).
+func (w WireReport) ProtocolID() byte {
+	if len(w) < 1 {
+		return IDWildcard
+	}
+	return w[0]
+}
+
+// Version returns the codec version byte (0 for a truncated report).
+func (w WireReport) Version() byte {
+	if len(w) < headerBytes {
+		return 0
+	}
+	return w[1]
+}
+
+// Payload returns the protocol-specific payload bytes.
+func (w WireReport) Payload() []byte {
+	if len(w) < headerBytes {
+		return nil
+	}
+	return w[headerBytes:]
+}
+
+// NewWireReport assembles a report from its parts, copying the payload.
+func NewWireReport(id, version byte, payload []byte) WireReport {
+	w := make(WireReport, 0, headerBytes+len(payload))
+	w = append(w, id, version)
+	return append(w, payload...)
+}
+
+// AppendHeader appends the [id][version] report header to dst; codec
+// implementations build reports as AppendHeader followed by payload appends.
+func AppendHeader(dst []byte, id, version byte) []byte {
+	return append(dst, id, version)
+}
+
+// Reporter is the device side of a protocol: one call per user turning the
+// user's item into the single message it sends. Implementations are
+// deterministic in their construction parameters (a device and a server
+// built from the same parameters agree on all public randomness) and safe
+// for concurrent use with per-goroutine rngs — Report never mutates shared
+// state.
+type Reporter interface {
+	Report(item []byte, userIdx int, rng *rand.Rand) (WireReport, error)
+}
+
+// Aggregator is the server side of a protocol: it absorbs wire reports in
+// any order and identifies the heavy hitters once the round closes.
+// Implementations must be safe for concurrent use — the generic TCP server
+// absorbs from many connections at once.
+type Aggregator interface {
+	// ProtocolID returns the wire codec this aggregator speaks; Absorb
+	// rejects reports carrying any other ID.
+	ProtocolID() byte
+	// Absorb validates and folds one report into the accumulated state.
+	Absorb(WireReport) error
+	// AbsorbBatch folds a batch under one lock acquisition where the
+	// implementation supports it. Every report up to the first invalid one
+	// is absorbed; the first error is returned.
+	AbsorbBatch([]WireReport) error
+	// Identify runs the server-side reconstruction and returns estimates
+	// sorted by decreasing count (ties by ascending item bytes). The
+	// context bounds long reconstructions; implementations honor
+	// cancellation at least on entry, super-linear ones periodically.
+	Identify(ctx context.Context) ([]Estimate, error)
+	// TotalReports returns the number of reports absorbed so far.
+	TotalReports() int
+	// SketchBytes returns resident server memory (Table 1 metric).
+	SketchBytes() int
+	// BytesPerReport returns the payload size of one user message (Table 1
+	// communication metric; excludes the 2-byte wire header).
+	BytesPerReport() int
+}
+
+// Protocol is a full protocol instance: both halves in one value. The
+// concrete adapters (core.PESWire, baseline.BitstogramWire, ...) all satisfy
+// it, so ldphh.New can hand back one object usable on either side.
+type Protocol interface {
+	Reporter
+	Aggregator
+}
+
+// Mergeable is the optional aggregator capability behind snapshot/merge
+// fan-in trees: serialize accumulated (pre-Identify) state, rehydrate a
+// checkpoint, or fold a sibling's snapshot into a running aggregator.
+// Snapshots are versioned and parameter-fingerprinted by each
+// implementation; a blob only loads into an aggregator built from matching
+// parameters. Detect the capability with AsMergeable.
+type Mergeable interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+	MergeSnapshot([]byte) error
+}
+
+// AsMergeable reports whether the aggregator supports snapshot/merge
+// fan-in, returning the capability view when it does. The generic server
+// uses this to answer snapshot commands only for protocols that can.
+func AsMergeable(a Aggregator) (Mergeable, bool) {
+	m, ok := a.(Mergeable)
+	return m, ok
+}
+
+// Calibrated is the optional capability of protocols that can state their
+// recovery floor: the smallest multiplicity the configuration reliably
+// identifies (or, for pure frequency oracles, the per-query error envelope).
+// Benchmarks use it to score recall against ground truth.
+type Calibrated interface {
+	MinRecoverableFrequency() float64
+}

@@ -1,0 +1,161 @@
+package proto
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The proto package sits below every protocol package, so its own test
+// binary sees no real codecs — register one synthetic codec and exercise
+// the registry machinery against it.
+const (
+	testID      byte = 0x7e
+	testVersion byte = 3
+	testPayload      = 4
+)
+
+var registerTestCodecOnce sync.Once
+
+// registerTestCodec installs the synthetic codec exactly once per test
+// binary (Register panics on duplicates by design). Payload rule: byte 0
+// must not be 0xff.
+func registerTestCodec() {
+	registerTestCodecOnce.Do(func() {
+		Register(Codec{
+			ID:           testID,
+			Name:         "testcodec",
+			Version:      testVersion,
+			PayloadBytes: testPayload,
+			Validate: func(p []byte) error {
+				if p[0] == 0xff {
+					return errBadPayload
+				}
+				return nil
+			},
+		})
+	})
+}
+
+var errBadPayload = &payloadError{}
+
+type payloadError struct{}
+
+func (*payloadError) Error() string { return "testcodec: bad payload" }
+
+func TestRegistryLookup(t *testing.T) {
+	registerTestCodec()
+	c, ok := Lookup(testID)
+	if !ok {
+		t.Fatal("registered codec not found by ID")
+	}
+	if c.Name != "testcodec" || c.FrameBytes() != 2+testPayload {
+		t.Fatalf("lookup returned %+v", c)
+	}
+	if _, ok := Lookup(0x6f); ok {
+		t.Error("unregistered ID found")
+	}
+	byName, ok := LookupName("testcodec")
+	if !ok || byName.ID != testID {
+		t.Fatalf("LookupName = %+v, %v", byName, ok)
+	}
+	found := false
+	for _, c := range Codecs() {
+		if c.ID == testID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Codecs() omits the registered codec")
+	}
+}
+
+func TestRegisterRejectsCollisionsAndWildcard(t *testing.T) {
+	registerTestCodec()
+	mustPanic := func(name string, c Codec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(c)
+	}
+	valid := func(p []byte) error { return nil }
+	mustPanic("duplicate ID", Codec{ID: testID, Name: "other", Version: 1, PayloadBytes: 1, Validate: valid})
+	mustPanic("duplicate name", Codec{ID: 0x6d, Name: "testcodec", Version: 1, PayloadBytes: 1, Validate: valid})
+	mustPanic("wildcard ID", Codec{ID: IDWildcard, Name: "wild", Version: 1, PayloadBytes: 1, Validate: valid})
+	mustPanic("nil validate", Codec{ID: 0x6c, Name: "novalidate", Version: 1, PayloadBytes: 1})
+}
+
+func TestWireReportAccessors(t *testing.T) {
+	wr := NewWireReport(testID, testVersion, []byte{1, 2, 3, 4})
+	if wr.ProtocolID() != testID || wr.Version() != testVersion {
+		t.Fatalf("header accessors: %#02x v%d", wr.ProtocolID(), wr.Version())
+	}
+	if !bytes.Equal(wr.Payload(), []byte{1, 2, 3, 4}) {
+		t.Fatalf("payload = %x", wr.Payload())
+	}
+	// NewWireReport copies: mutating the source must not change the report.
+	src := []byte{9, 9}
+	wr2 := NewWireReport(1, 1, src)
+	src[0] = 0
+	if wr2.Payload()[0] != 9 {
+		t.Error("NewWireReport aliased the payload")
+	}
+	// Degenerate reports answer zero values, never panic.
+	var empty WireReport
+	if empty.ProtocolID() != IDWildcard || empty.Version() != 0 || empty.Payload() != nil {
+		t.Error("empty report accessors not zero-valued")
+	}
+}
+
+func TestDecodeWireReport(t *testing.T) {
+	registerTestCodec()
+	good := NewWireReport(testID, testVersion, []byte{0, 1, 2, 3})
+	wr, err := DecodeWireReport(good)
+	if err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	if !bytes.Equal(wr, good) {
+		t.Fatal("DecodeWireReport changed the bytes")
+	}
+	reject := func(name string, buf []byte, wantSub string) {
+		t.Helper()
+		if _, err := DecodeWireReport(buf); err == nil {
+			t.Errorf("%s accepted", name)
+		} else if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q missing %q", name, err, wantSub)
+		}
+	}
+	reject("empty", nil, "shorter")
+	reject("header only", []byte{testID, testVersion}, "length")
+	reject("unknown ID", NewWireReport(0x6b, 1, []byte{0, 0, 0, 0}), "unknown protocol ID")
+	reject("wrong version", NewWireReport(testID, testVersion+1, []byte{0, 0, 0, 0}), "version")
+	reject("short payload", NewWireReport(testID, testVersion, []byte{0}), "length")
+	reject("long payload", NewWireReport(testID, testVersion, []byte{0, 0, 0, 0, 0}), "length")
+	reject("invalid payload", NewWireReport(testID, testVersion, []byte{0xff, 0, 0, 0}), "bad payload")
+}
+
+func TestCheckHeader(t *testing.T) {
+	registerTestCodec()
+	good := NewWireReport(testID, testVersion, []byte{0, 1, 2, 3})
+	if err := CheckHeader(good, testID); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if err := CheckHeader(good, 0x6a); err == nil {
+		t.Error("unregistered expected ID accepted")
+	}
+	if err := CheckHeader(good[:3], testID); err == nil {
+		t.Error("wrong length accepted")
+	}
+	other := NewWireReport(0x22, testVersion, []byte{0, 1, 2, 3})
+	if err := CheckHeader(other, testID); err == nil {
+		t.Error("foreign protocol ID accepted")
+	}
+	stale := NewWireReport(testID, testVersion+1, []byte{0, 1, 2, 3})
+	if err := CheckHeader(stale, testID); err == nil {
+		t.Error("stale codec version accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec describes one protocol's wire encoding: the registry entry behind a
+// protocol ID byte. Every codec in this repository is fixed-size — a
+// protocol's report payload is the same length for every user — which is
+// what lets the TCP server stream reports with no per-frame length prefix.
+type Codec struct {
+	// ID is the registry key and the first byte of every report.
+	ID byte
+	// Name is the stable lowercase handle used by command-line flags and
+	// ldphh.ParseKind ("pes", "bitstogram", ...).
+	Name string
+	// Version is the codec version stamped into byte 1 of every report.
+	// Bump it when the payload layout changes; decoders reject other
+	// versions.
+	Version byte
+	// PayloadBytes is the fixed payload length. The full wire frame is
+	// FrameBytes = 2 + PayloadBytes.
+	PayloadBytes int
+	// Validate checks that a payload of the right length decodes into a
+	// structurally valid report (field ranges, bit bytes). It must never
+	// panic on arbitrary bytes.
+	Validate func(payload []byte) error
+}
+
+// FrameBytes returns the full on-the-wire frame length of one report:
+// the 2-byte [ID][version] header plus the fixed payload.
+func (c Codec) FrameBytes() int { return headerBytes + c.PayloadBytes }
+
+var (
+	regMu  sync.RWMutex
+	byID   = make(map[byte]Codec)
+	byName = make(map[string]Codec)
+)
+
+// Register installs a codec in the registry. Protocol packages call it from
+// init; it panics on a malformed codec or an ID/name collision, which is a
+// programming error, not a runtime condition.
+func Register(c Codec) {
+	if c.ID == IDWildcard {
+		panic("proto: cannot register the wildcard ID")
+	}
+	if c.Name == "" || c.PayloadBytes <= 0 || c.Validate == nil {
+		panic(fmt.Sprintf("proto: malformed codec registration %+v", c))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, dup := byID[c.ID]; dup {
+		panic(fmt.Sprintf("proto: codec ID %#02x already registered as %q", c.ID, prev.Name))
+	}
+	if _, dup := byName[c.Name]; dup {
+		panic(fmt.Sprintf("proto: codec name %q already registered", c.Name))
+	}
+	byID[c.ID] = c
+	byName[c.Name] = c
+}
+
+// Lookup returns the codec registered under the protocol ID.
+func Lookup(id byte) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byID[id]
+	return c, ok
+}
+
+// LookupName returns the codec registered under the stable name.
+func LookupName(name string) (Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byName[name]
+	return c, ok
+}
+
+// Codecs returns every registered codec, sorted by ID.
+func Codecs() []Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Codec, 0, len(byID))
+	for _, c := range byID {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DecodeWireReport validates arbitrary bytes as a wire report: known
+// protocol ID, matching codec version, exact frame length and a payload the
+// protocol's validator accepts. It rejects anything else with an error and
+// never panics (FuzzDecodeWireReport enforces this); on success the
+// returned WireReport aliases buf.
+func DecodeWireReport(buf []byte) (WireReport, error) {
+	if len(buf) < headerBytes {
+		return nil, fmt.Errorf("proto: report of %d bytes is shorter than the %d-byte header", len(buf), headerBytes)
+	}
+	c, ok := Lookup(buf[0])
+	if !ok {
+		return nil, fmt.Errorf("proto: unknown protocol ID %#02x", buf[0])
+	}
+	if buf[1] != c.Version {
+		return nil, fmt.Errorf("proto: %s report version %d, want %d", c.Name, buf[1], c.Version)
+	}
+	if len(buf) != c.FrameBytes() {
+		return nil, fmt.Errorf("proto: %s report length %d, want %d", c.Name, len(buf), c.FrameBytes())
+	}
+	if err := c.Validate(buf[headerBytes:]); err != nil {
+		return nil, err
+	}
+	return WireReport(buf), nil
+}
+
+// CheckHeader verifies that a wire report belongs to the protocol with the
+// given registered ID and version and has the codec's exact frame length —
+// the shared first half of every adapter's Absorb.
+func CheckHeader(w WireReport, id byte) error {
+	c, ok := Lookup(id)
+	if !ok {
+		return fmt.Errorf("proto: protocol ID %#02x is not registered", id)
+	}
+	if len(w) != c.FrameBytes() {
+		return fmt.Errorf("proto: %s report length %d, want %d", c.Name, len(w), c.FrameBytes())
+	}
+	if w[0] != id {
+		if other, ok := Lookup(w[0]); ok {
+			return fmt.Errorf("proto: %s report sent to a %s aggregator", other.Name, c.Name)
+		}
+		return fmt.Errorf("proto: report protocol ID %#02x, want %#02x (%s)", w[0], id, c.Name)
+	}
+	if w[1] != c.Version {
+		return fmt.Errorf("proto: %s report version %d, want %d", c.Name, w[1], c.Version)
+	}
+	return nil
+}

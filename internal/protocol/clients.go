@@ -1,0 +1,283 @@
+package protocol
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"time"
+
+	"ldphh/internal/core"
+	"ldphh/internal/proto"
+)
+
+// Network client helpers. Every operation has a context-aware variant with
+// real deadline and cancellation propagation: the context's deadline is
+// installed as the connection deadline, and a cancellation mid-operation
+// wakes any blocked read or write immediately — a stalled or wedged server
+// can no longer block a client forever (the regression
+// TestContextClientsAgainstWedgedServer pins this). The legacy
+// context-free helpers delegate with context.Background(), preserving their
+// original wait-forever semantics for callers that want them.
+
+// withConn dials addr, wires ctx's deadline and cancellation to the
+// connection, and runs fn. If fn fails because ctx expired, the returned
+// error wraps ctx.Err() so callers can errors.Is against
+// context.DeadlineExceeded / context.Canceled.
+func withConn(ctx context.Context, addr string, fn func(conn net.Conn) error) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return err
+		}
+	}
+	// Cancellation (not just deadline expiry) must interrupt blocked I/O:
+	// snap the deadline into the past the moment ctx is done.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
+	if err := fn(conn); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("protocol: %w (%v)", ctxErr, err)
+		}
+		// The only deadline ever set on the connection is ctx's, so an I/O
+		// timeout at the context's deadline means the context is expiring —
+		// the poller can fire a hair before ctx.Err() flips, so wait out the
+		// skew and report the context's error. A timeout from anywhere else
+		// (a kernel ETIMEDOUT also satisfies net.Error.Timeout) is returned
+		// as-is: with no imminent ctx deadline, Done may never fire.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < time.Second {
+				<-ctx.Done()
+				return fmt.Errorf("protocol: %w (%v)", ctx.Err(), err)
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// writePreamble opens the negotiation: the protocol ID the client speaks
+// and the command it is issuing.
+func writePreamble(w io.Writer, id, cmd byte) error {
+	_, err := w.Write([]byte{id, cmd})
+	return err
+}
+
+// awaitAck reads the single acknowledgment byte, relaying a textual
+// "ERR ...\n" reply as an error.
+func awaitAck(r *bufio.Reader, op string) error {
+	first, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("protocol: waiting for %s ack: %w", op, err)
+	}
+	if first == ackByte {
+		return nil
+	}
+	msg, _ := r.ReadString('\n')
+	return fmt.Errorf("protocol: server rejected %s: %s", op, strings.TrimSpace(string(first)+msg))
+}
+
+// SendWire streams pre-encoded wire reports to the server over one
+// connection and waits for the acknowledgment that every frame was
+// absorbed. All reports must belong to one protocol (the first report's ID
+// is negotiated for the connection); an empty batch is a no-op.
+func SendWire(ctx context.Context, addr string, reports []proto.WireReport) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	id := reports[0].ProtocolID()
+	return withConn(ctx, addr, func(conn net.Conn) error {
+		bw := bufio.NewWriter(conn)
+		if err := writePreamble(bw, id, cmdReport); err != nil {
+			return err
+		}
+		for _, wr := range reports {
+			if got := wr.ProtocolID(); got != id {
+				return fmt.Errorf("protocol: mixed protocol IDs in one batch (%#02x and %#02x)", id, got)
+			}
+			if _, err := bw.Write(wr); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		// Half-close the write side so the server sees EOF, then wait for ACK.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if err := tc.CloseWrite(); err != nil {
+				return err
+			}
+		}
+		return awaitAck(bufio.NewReader(conn), "batch")
+	})
+}
+
+// SendReports streams PES reports to the server and waits for its
+// acknowledgment (context-free legacy form).
+func SendReports(addr string, reports []core.Report) error {
+	return SendReportsContext(context.Background(), addr, reports)
+}
+
+// SendReportsContext is SendReports with deadline/cancellation propagation.
+func SendReportsContext(ctx context.Context, addr string, reports []core.Report) error {
+	wrs := make([]proto.WireReport, len(reports))
+	for i, rep := range reports {
+		wr, err := core.EncodeReportWire(rep)
+		if err != nil {
+			return err
+		}
+		wrs[i] = wr
+	}
+	return SendWire(ctx, addr, wrs)
+}
+
+// readEstimates parses the identify reply: u32 count, then per estimate a
+// u16 item length, the item bytes and the count's IEEE 754 bits — so the
+// TCP path returns bit-identical float64 estimates.
+func readEstimates(br *bufio.Reader) ([]proto.Estimate, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("protocol: reading identify reply: %w", err)
+	}
+	// The server answers failures with a textual "ERR ...\n" line instead of
+	// an estimate count; relay its message rather than misparsing the bytes.
+	if string(hdr[:]) == "ERR " {
+		msg, _ := br.ReadString('\n')
+		return nil, fmt.Errorf("protocol: server rejected identify: %s", strings.TrimSpace(msg))
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	const maxItems = 1 << 24
+	if n > maxItems {
+		return nil, fmt.Errorf("protocol: implausible estimate count %d", n)
+	}
+	out := make([]proto.Estimate, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var lenb [2]byte
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			return nil, err
+		}
+		item := make([]byte, binary.BigEndian.Uint16(lenb[:]))
+		if _, err := io.ReadFull(br, item); err != nil {
+			return nil, err
+		}
+		var cnt [8]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, err
+		}
+		out = append(out, proto.Estimate{Item: item, Count: math.Float64frombits(binary.BigEndian.Uint64(cnt[:]))})
+	}
+	return out, nil
+}
+
+// RequestIdentify asks the server to run identification and returns the
+// estimates (context-free legacy form: waits as long as the server takes).
+func RequestIdentify(addr string) ([]proto.Estimate, error) {
+	return RequestIdentifyContext(context.Background(), addr)
+}
+
+// RequestIdentifyContext is RequestIdentify with deadline/cancellation
+// propagation: a wedged or slow server cannot block the caller past the
+// context's deadline.
+func RequestIdentifyContext(ctx context.Context, addr string) ([]proto.Estimate, error) {
+	var est []proto.Estimate
+	err := withConn(ctx, addr, func(conn net.Conn) error {
+		if err := writePreamble(conn, proto.IDWildcard, cmdIdentify); err != nil {
+			return err
+		}
+		var err error
+		est, err = readEstimates(bufio.NewReader(conn))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// RequestSnapshot asks an aggregation server for its accumulated state and
+// returns the snapshot bytes, ready to feed a parent aggregator via
+// PushSnapshot (or Mergeable.MergeSnapshot / Restore in process).
+func RequestSnapshot(addr string) ([]byte, error) {
+	return RequestSnapshotContext(context.Background(), addr)
+}
+
+// RequestSnapshotContext is RequestSnapshot with deadline/cancellation
+// propagation.
+func RequestSnapshotContext(ctx context.Context, addr string) ([]byte, error) {
+	var snap []byte
+	err := withConn(ctx, addr, func(conn net.Conn) error {
+		if err := writePreamble(conn, proto.IDWildcard, cmdSnapshot); err != nil {
+			return err
+		}
+		br := bufio.NewReader(conn)
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return fmt.Errorf("protocol: reading snapshot reply: %w", err)
+		}
+		// Failures arrive as a textual "ERR ...\n" line instead of a length;
+		// the cap below keeps the two unambiguous ("ERR " decodes above it).
+		if string(hdr[:]) == "ERR " {
+			msg, _ := br.ReadString('\n')
+			return fmt.Errorf("protocol: server rejected snapshot: %s", strings.TrimSpace(msg))
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxSnapshotBytes {
+			return fmt.Errorf("protocol: implausible snapshot length %d", n)
+		}
+		snap = make([]byte, n)
+		if _, err := io.ReadFull(br, snap); err != nil {
+			return fmt.Errorf("protocol: reading snapshot body: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// PushSnapshot ships a leaf aggregator's snapshot to a parent server, which
+// merges it into its own state, and waits for the acknowledgment. The two
+// ends must run protocols with matching parameters (for PES: equal
+// fingerprints — same Params.Seed and sketch geometry); a mismatch is
+// rejected server-side before any state changes.
+func PushSnapshot(addr string, snap []byte) error {
+	return PushSnapshotContext(context.Background(), addr, snap)
+}
+
+// PushSnapshotContext is PushSnapshot with deadline/cancellation
+// propagation.
+func PushSnapshotContext(ctx context.Context, addr string, snap []byte) error {
+	if len(snap) > maxSnapshotBytes {
+		return fmt.Errorf("protocol: snapshot of %d bytes exceeds transfer cap", len(snap))
+	}
+	return withConn(ctx, addr, func(conn net.Conn) error {
+		bw := bufio.NewWriter(conn)
+		if err := writePreamble(bw, proto.IDWildcard, cmdMergeSnapshot); err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(snap)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(snap); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return awaitAck(bufio.NewReader(conn), "snapshot merge")
+	})
+}

@@ -3,16 +3,21 @@ package protocol
 import (
 	"bytes"
 	"testing"
+
+	"ldphh/internal/proto"
 )
 
 // FuzzDecodeReport: arbitrary bytes must never panic the decoder, and any
 // frame it accepts must re-encode to the identical bytes (canonical form).
 func FuzzDecodeReport(f *testing.F) {
 	f.Add(make([]byte, FrameSize))
+	// Frame layout: [ID][version] + payload (m u16 | dir col u32 | dir bit |
+	// conf row u16 | conf col u32 | conf bit) — bits at offsets 8 and 15.
 	good := make([]byte, FrameSize)
-	good[0] = Version
-	good[7] = 1
-	good[14] = 1
+	good[0] = proto.IDPrivateExpanderSketch
+	good[1] = Version
+	good[8] = 1
+	good[15] = 1
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, FrameSize))

@@ -11,6 +11,7 @@ import (
 
 	"ldphh/internal/core"
 	"ldphh/internal/freqoracle"
+	"ldphh/internal/proto"
 	"ldphh/internal/workload"
 )
 
@@ -51,10 +52,19 @@ func TestFrameValidation(t *testing.T) {
 	bad := make([]byte, FrameSize)
 	bad[0] = 99
 	if _, err := DecodeReport(bad); err == nil {
-		t.Error("bad version accepted")
+		t.Error("unknown protocol ID accepted")
 	}
-	bad[0] = Version
-	bad[7] = 7
+	bad[0] = proto.IDBitstogram
+	if _, err := DecodeReport(bad); err == nil {
+		t.Error("frame from another protocol accepted")
+	}
+	bad[0] = proto.IDPrivateExpanderSketch
+	bad[1] = 99
+	if _, err := DecodeReport(bad); err == nil {
+		t.Error("bad codec version accepted")
+	}
+	bad[1] = Version
+	bad[8] = 7 // the direct-report bit byte
 	if _, err := DecodeReport(bad); err == nil {
 		t.Error("bad bit byte accepted")
 	}
@@ -108,7 +118,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 
 	// Simulate a fleet: 4 concurrent batches of users, each over its own
 	// connection (the paper's non-interactive single-message model).
-	proto := srv.Protocol()
+	pr := srv.Protocol()
 	const fleets = 4
 	var wg sync.WaitGroup
 	errs := make(chan error, fleets)
@@ -119,7 +129,7 @@ func TestEndToEndOverTCP(t *testing.T) {
 			rng := rand.New(rand.NewPCG(uint64(f), 99))
 			var batch []core.Report
 			for i := f; i < n; i += fleets {
-				rep, err := proto.Report(ds.Items[i], i, rng)
+				rep, err := pr.Report(ds.Items[i], i, rng)
 				if err != nil {
 					errs <- err
 					return
@@ -178,15 +188,16 @@ func TestServerRejectsCorruptStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Write(append([]byte{0x01}, make([]byte, FrameSize/2)...)); err != nil {
+	preamble := []byte{proto.IDPrivateExpanderSketch, cmdReport}
+	if _, err := conn.Write(append(append([]byte(nil), preamble...), make([]byte, FrameSize/2)...)); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
 
-	// A frame with a bad version byte must be rejected mid-stream.
-	proto := srv.Protocol()
+	// A frame with an unknown protocol-ID byte must be rejected mid-stream.
+	pr := srv.Protocol()
 	rng := rand.New(rand.NewPCG(1, 1))
-	good, err := proto.Report([]byte{0, 0, 0, 1}, 0, rng)
+	good, err := pr.Report([]byte{0, 0, 0, 1}, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +211,7 @@ func TestServerRejectsCorruptStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := append([]byte{0x01}, frame...)
+	payload := append(append([]byte(nil), preamble...), frame...)
 	payload = append(payload, bad...)
 	if _, err := conn2.Write(payload); err != nil {
 		t.Fatal(err)
@@ -234,7 +245,7 @@ func TestUnknownCommandRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write([]byte{0xee}); err != nil {
+	if _, err := conn.Write([]byte{proto.IDWildcard, 0xee}); err != nil {
 		t.Fatal(err)
 	}
 	buf := make([]byte, 64)

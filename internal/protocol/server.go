@@ -2,23 +2,26 @@ package protocol
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
-	"strings"
 	"sync"
 
 	"ldphh/internal/core"
+	"ldphh/internal/proto"
 )
 
-// Commands on the control byte that begins every connection.
+// Commands on the control byte that follows the protocol-ID byte opening
+// every connection.
 const (
 	cmdReport        = 0x01 // followed by a stream of report frames until EOF
 	cmdIdentify      = 0x02 // triggers identification; reply is the estimate list
-	cmdSnapshot      = 0x03 // stream my accumulated state out (length-prefixed LPSK blob)
-	cmdMergeSnapshot = 0x04 // absorb a child aggregator's state (length-prefixed LPSK blob)
+	cmdSnapshot      = 0x03 // stream my accumulated state out (length-prefixed blob)
+	cmdMergeSnapshot = 0x04 // absorb a child aggregator's state (length-prefixed blob)
 )
 
 // maxSnapshotBytes bounds the length prefix either side of a snapshot
@@ -27,21 +30,28 @@ const (
 // four bytes read as ~1.16e9, above this cap).
 const maxSnapshotBytes = 1 << 30
 
-// Server aggregates LDP reports over TCP into a PrivateExpanderSketch
-// protocol instance. One Server serves one collection round.
+// Server aggregates LDP reports over TCP into any proto.Aggregator. One
+// Server serves one collection round for one protocol; the protocol ID is
+// negotiated (verified) at connection time and revalidated on every
+// self-describing report frame.
 //
 // Ingestion is sharded: a report connection that proves to be bulk (more
-// than shardAfter frames) decodes and absorbs in its own goroutine into a
-// private core.Accumulator, so concurrent senders never contend on the
-// protocol's mutex per report. The shard is merged into the protocol — one
-// lock acquisition — when the stream ends or every mergeEvery frames,
-// whichever comes first. Short streams (a device delivering its single
-// report) skip shard setup entirely and take the locked Absorb path, which
-// is cheaper than zeroing a sketch-sized accumulator for a handful of
-// frames. All round state (absorbed count, round-closed flag) lives in the
-// protocol itself.
+// than shardAfter frames) buffers frames into windows handed to the
+// aggregator's AbsorbBatch — one lock acquisition (for PES, one private
+// accumulator merge) per window instead of one per report, so concurrent
+// senders never contend on the aggregator per report. Short streams (a
+// device delivering its single report) skip the window entirely and take
+// the per-report Absorb path, which is cheaper than batch setup for a
+// handful of frames.
+//
+// Aggregators that additionally implement proto.Mergeable (capability
+// detected at runtime) answer the snapshot/merge commands that compose
+// servers into fan-in trees; others reject those commands with an ERR
+// reply.
 type Server struct {
-	proto *core.Protocol
+	agg   proto.Aggregator
+	codec proto.Codec
+	pes   *core.Protocol // non-nil only for the legacy PES constructor
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -50,29 +60,45 @@ type Server struct {
 
 const (
 	// shardAfter is the stream length at which a connection graduates from
-	// per-report locked absorption to its own shard accumulator.
+	// per-report locked absorption to windowed batch absorption.
 	shardAfter = 256
-	// mergeEvery bounds how many frames a connection shard buffers before
-	// folding into the protocol, so Absorbed() tracks long-lived streams
-	// and an aborted connection loses at most one partial window.
+	// mergeEvery bounds how many frames a connection buffers before folding
+	// into the aggregator, so TotalReports tracks long-lived streams and an
+	// aborted connection loses at most one partial window.
 	mergeEvery = 1 << 16
 )
 
-// NewServer constructs a server around a fresh protocol with the given
-// parameters and starts listening on addr (use "127.0.0.1:0" for tests).
-// params.Workers sizes the Identify worker pool the cmdIdentify command
-// runs on; the identification reply is bit-identical at any worker count,
-// so operators can tune it per deployment without coordinating clients.
+// NewServer constructs a PrivateExpanderSketch server around a fresh
+// protocol with the given parameters and starts listening on addr (use
+// "127.0.0.1:0" for tests). params.Workers sizes the Identify worker pool;
+// the identification reply is bit-identical at any worker count, so
+// operators can tune it per deployment without coordinating clients.
 func NewServer(params core.Params, addr string) (*Server, error) {
-	proto, err := core.New(params)
+	pr, err := core.New(params)
 	if err != nil {
 		return nil, err
+	}
+	s, err := NewGenericServer(pr.Wire(), addr)
+	if err != nil {
+		return nil, err
+	}
+	s.pes = pr
+	return s, nil
+}
+
+// NewGenericServer constructs a server around any aggregator and starts
+// listening on addr. The aggregator's protocol must have a registered wire
+// codec (every protocol in the repository registers one at init).
+func NewGenericServer(agg proto.Aggregator, addr string) (*Server, error) {
+	codec, ok := proto.Lookup(agg.ProtocolID())
+	if !ok {
+		return nil, fmt.Errorf("protocol: aggregator protocol ID %#02x has no registered codec", agg.ProtocolID())
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{proto: proto, ln: ln, closed: make(chan struct{})}
+	s := &Server{agg: agg, codec: codec, ln: ln, closed: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -81,11 +107,16 @@ func NewServer(params core.Params, addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Protocol exposes the underlying protocol (public randomness for clients).
-func (s *Server) Protocol() *core.Protocol { return s.proto }
+// Aggregator exposes the aggregator this server feeds.
+func (s *Server) Aggregator() proto.Aggregator { return s.agg }
+
+// Protocol exposes the underlying PES protocol (public randomness for
+// clients) when the server was built with NewServer; it is nil for servers
+// around other aggregators.
+func (s *Server) Protocol() *core.Protocol { return s.pes }
 
 // Absorbed returns the number of reports accepted so far.
-func (s *Server) Absorbed() int { return s.proto.TotalReports() }
+func (s *Server) Absorbed() int { return s.agg.TotalReports() }
 
 // Close stops accepting and waits for in-flight connections.
 func (s *Server) Close() error {
@@ -126,6 +157,19 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) error {
 	br := bufio.NewReader(conn)
+	// Connection-time negotiation: the client names the protocol it speaks
+	// (or the wildcard for control commands); a mismatch is rejected before
+	// any state changes.
+	id, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if id != proto.IDWildcard && id != s.agg.ProtocolID() {
+		if c, ok := proto.Lookup(id); ok {
+			return fmt.Errorf("protocol: client speaks %s, server aggregates %s", c.Name, s.codec.Name)
+		}
+		return fmt.Errorf("protocol: client protocol ID %#02x unknown (server aggregates %s)", id, s.codec.Name)
+	}
 	cmd, err := br.ReadByte()
 	if err != nil {
 		return err
@@ -153,56 +197,63 @@ func (s *Server) handle(conn net.Conn) error {
 const ackByte = 0x06
 
 func (s *Server) handleReports(r io.Reader) error {
-	var acc *core.Accumulator
+	frameLen := s.codec.FrameBytes()
 	frames := 0
+	var window []proto.WireReport
 	var streamErr error
 	for streamErr == nil {
-		rep, err := ReadFrame(r)
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
+		buf := make([]byte, frameLen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				streamErr = fmt.Errorf("protocol: truncated frame: %w", err)
+			} else if !errors.Is(err, io.EOF) {
 				streamErr = err
 			}
 			break
 		}
-		if acc == nil {
-			if frames < shardAfter {
-				// Short-stream path: locked absorption, no shard setup.
-				frames++
-				if err := s.proto.Absorb(rep); err != nil {
-					streamErr = err
-				}
-				continue
+		wr := proto.WireReport(buf)
+		if frames < shardAfter {
+			// Short-stream path: per-report absorption, no window setup.
+			frames++
+			if err := s.agg.Absorb(wr); err != nil {
+				streamErr = err
 			}
-			acc = s.proto.NewAccumulator()
+			continue
 		}
-		if err := acc.Absorb(rep); err != nil {
-			streamErr = err
-			break
-		}
-		if acc.Absorbed() >= mergeEvery {
-			if err := s.proto.Merge(acc); err != nil {
+		window = append(window, wr)
+		if len(window) >= mergeEvery {
+			if err := s.agg.AbsorbBatch(window); err != nil {
 				return err
 			}
-			acc = s.proto.NewAccumulator()
+			window = window[:0]
 		}
 	}
-	// Merge the valid prefix even when the stream went bad mid-flight —
+	// Absorb the valid prefix even when the stream went bad mid-flight —
 	// every frame that decoded and validated counts, exactly as under the
-	// per-report lock.
-	if acc != nil && acc.Absorbed() > 0 {
-		if err := s.proto.Merge(acc); err != nil {
-			return err
+	// per-report path.
+	if len(window) > 0 {
+		if err := s.agg.AbsorbBatch(window); err != nil {
+			if streamErr == nil {
+				streamErr = err
+			}
 		}
 	}
 	return streamErr
 }
 
 func (s *Server) handleIdentify(conn net.Conn) error {
-	// The protocol finalizes itself: a second identify (or any absorb or
-	// merge racing this call) fails under its mutex.
-	est, err := s.proto.Identify()
+	// The aggregator finalizes itself; identification honors no deadline on
+	// the server side — the client's context bounds how long it waits.
+	est, err := s.agg.Identify(context.Background())
 	if err != nil {
 		return err
+	}
+	// Validate before the first write: once the count header is on the wire
+	// the reply can only be completed, not turned into an ERR line.
+	for _, e := range est {
+		if len(e.Item) > 0xffff {
+			return fmt.Errorf("protocol: estimate item of %d bytes does not fit the reply frame", len(e.Item))
+		}
 	}
 	bw := bufio.NewWriter(conn)
 	var hdr [4]byte
@@ -220,7 +271,7 @@ func (s *Server) handleIdentify(conn net.Conn) error {
 			return err
 		}
 		var cnt [8]byte
-		binary.BigEndian.PutUint64(cnt[:], uint64(int64(e.Count)))
+		binary.BigEndian.PutUint64(cnt[:], math.Float64bits(e.Count))
 		if _, err := bw.Write(cnt[:]); err != nil {
 			return err
 		}
@@ -228,14 +279,28 @@ func (s *Server) handleIdentify(conn net.Conn) error {
 	return bw.Flush()
 }
 
-// handleSnapshot serializes the protocol's accumulated state and streams it
-// back as a u32 length prefix plus the LPSK blob. Reports absorbed after
-// the internal Snapshot call are simply not in this checkpoint; they remain
-// in this aggregator's state and reach the root in a later snapshot or not
-// at all — the transfer itself is consistent at one instant because
-// Snapshot runs under the protocol mutex.
+// mergeable returns the aggregator's snapshot capability or an error for
+// the ERR reply when the protocol cannot snapshot.
+func (s *Server) mergeable() (proto.Mergeable, error) {
+	m, ok := proto.AsMergeable(s.agg)
+	if !ok {
+		return nil, fmt.Errorf("protocol: %s does not support snapshots", s.codec.Name)
+	}
+	return m, nil
+}
+
+// handleSnapshot serializes the aggregator's accumulated state and streams
+// it back as a u32 length prefix plus the blob. Reports absorbed after the
+// internal Snapshot call are simply not in this checkpoint; they remain in
+// this aggregator's state and reach the root in a later snapshot or not at
+// all — the transfer itself is consistent at one instant because Snapshot
+// runs under the aggregator's lock.
 func (s *Server) handleSnapshot(conn net.Conn) error {
-	snap, err := s.proto.Snapshot()
+	m, err := s.mergeable()
+	if err != nil {
+		return err
+	}
+	snap, err := m.Snapshot()
 	if err != nil {
 		return err
 	}
@@ -254,11 +319,15 @@ func (s *Server) handleSnapshot(conn net.Conn) error {
 	return bw.Flush()
 }
 
-// handleMergeSnapshot reads a length-prefixed LPSK blob from a child
-// aggregator and folds it into the protocol, acknowledging with the same
-// byte report streams use so the child knows its state was absorbed before
-// it retires the data.
+// handleMergeSnapshot reads a length-prefixed snapshot blob from a child
+// aggregator and folds it into the server state, acknowledging with the
+// same byte report streams use so the child knows its state was absorbed
+// before it retires the data.
 func (s *Server) handleMergeSnapshot(conn net.Conn, br *bufio.Reader) error {
+	m, err := s.mergeable()
+	if err != nil {
+		return err
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return fmt.Errorf("protocol: reading snapshot length: %w", err)
@@ -271,166 +340,9 @@ func (s *Server) handleMergeSnapshot(conn net.Conn, br *bufio.Reader) error {
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return fmt.Errorf("protocol: reading snapshot body: %w", err)
 	}
-	if err := s.proto.MergeSnapshot(buf); err != nil {
+	if err := m.MergeSnapshot(buf); err != nil {
 		return err
 	}
-	_, err := conn.Write([]byte{ackByte})
+	_, err = conn.Write([]byte{ackByte})
 	return err
-}
-
-// SendReports streams reports to the server over one connection and waits
-// for the server's acknowledgment that every frame was absorbed.
-func SendReports(addr string, reports []core.Report) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	bw := bufio.NewWriter(conn)
-	if err := bw.WriteByte(cmdReport); err != nil {
-		return err
-	}
-	for _, rep := range reports {
-		if err := WriteFrame(bw, rep); err != nil {
-			return err
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	// Half-close the write side so the server sees EOF, then wait for ACK.
-	if tc, ok := conn.(*net.TCPConn); ok {
-		if err := tc.CloseWrite(); err != nil {
-			return err
-		}
-	}
-	var ack [1]byte
-	if _, err := io.ReadFull(conn, ack[:]); err != nil {
-		return fmt.Errorf("protocol: waiting for server ack: %w", err)
-	}
-	if ack[0] != ackByte {
-		return fmt.Errorf("protocol: server rejected the batch (reply %q...)", ack[0])
-	}
-	return nil
-}
-
-// RequestIdentify asks the server to run identification and returns the
-// estimates.
-func RequestIdentify(addr string) ([]core.Estimate, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if _, err := conn.Write([]byte{cmdIdentify}); err != nil {
-		return nil, err
-	}
-	br := bufio.NewReader(conn)
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("protocol: reading identify reply: %w", err)
-	}
-	// The server answers failures with a textual "ERR ...\n" line instead of
-	// an estimate count; relay its message rather than misparsing the bytes.
-	if string(hdr[:]) == "ERR " {
-		msg, _ := br.ReadString('\n')
-		return nil, fmt.Errorf("protocol: server rejected identify: %s", strings.TrimSpace(msg))
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	const maxItems = 1 << 24
-	if n > maxItems {
-		return nil, fmt.Errorf("protocol: implausible estimate count %d", n)
-	}
-	out := make([]core.Estimate, 0, n)
-	for i := uint32(0); i < n; i++ {
-		var lenb [2]byte
-		if _, err := io.ReadFull(br, lenb[:]); err != nil {
-			return nil, err
-		}
-		item := make([]byte, binary.BigEndian.Uint16(lenb[:]))
-		if _, err := io.ReadFull(br, item); err != nil {
-			return nil, err
-		}
-		var cnt [8]byte
-		if _, err := io.ReadFull(br, cnt[:]); err != nil {
-			return nil, err
-		}
-		out = append(out, core.Estimate{Item: item, Count: float64(int64(binary.BigEndian.Uint64(cnt[:])))})
-	}
-	return out, nil
-}
-
-// RequestSnapshot asks an aggregation server for its accumulated state and
-// returns the LPSK snapshot bytes, ready to feed a parent aggregator via
-// PushSnapshot (or core.Protocol.MergeSnapshot / Restore in process).
-func RequestSnapshot(addr string) ([]byte, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if _, err := conn.Write([]byte{cmdSnapshot}); err != nil {
-		return nil, err
-	}
-	br := bufio.NewReader(conn)
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("protocol: reading snapshot reply: %w", err)
-	}
-	// Failures arrive as a textual "ERR ...\n" line instead of a length;
-	// the cap below keeps the two unambiguous ("ERR " decodes above it).
-	if string(hdr[:]) == "ERR " {
-		msg, _ := br.ReadString('\n')
-		return nil, fmt.Errorf("protocol: server rejected snapshot: %s", strings.TrimSpace(msg))
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxSnapshotBytes {
-		return nil, fmt.Errorf("protocol: implausible snapshot length %d", n)
-	}
-	snap := make([]byte, n)
-	if _, err := io.ReadFull(br, snap); err != nil {
-		return nil, fmt.Errorf("protocol: reading snapshot body: %w", err)
-	}
-	return snap, nil
-}
-
-// PushSnapshot ships a leaf aggregator's snapshot to a parent server, which
-// merges it into its own state, and waits for the acknowledgment. The two
-// ends must run protocols with equal fingerprints (same Params.Seed and
-// sketch geometry); a mismatch is rejected server-side before any state
-// changes.
-func PushSnapshot(addr string, snap []byte) error {
-	if len(snap) > maxSnapshotBytes {
-		return fmt.Errorf("protocol: snapshot of %d bytes exceeds transfer cap", len(snap))
-	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	bw := bufio.NewWriter(conn)
-	if err := bw.WriteByte(cmdMergeSnapshot); err != nil {
-		return err
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(snap)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := bw.Write(snap); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	br := bufio.NewReader(conn)
-	first, err := br.ReadByte()
-	if err != nil {
-		return fmt.Errorf("protocol: waiting for merge ack: %w", err)
-	}
-	if first == ackByte {
-		return nil
-	}
-	msg, _ := br.ReadString('\n')
-	return fmt.Errorf("protocol: server rejected snapshot merge: %s", strings.TrimSpace(string(first)+msg))
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ldphh/internal/core"
+	"ldphh/internal/proto"
 )
 
 func treeParams(seed uint64) core.Params {
@@ -50,9 +51,9 @@ func treeReports(t testing.TB, params core.Params, n int) []core.Report {
 // a two-tier aggregation tree over real TCP — k leaf servers ingesting
 // report shards concurrently, a root absorbing their snapshots via
 // cmdSnapshot/cmdMergeSnapshot — must answer Identify byte-identically to
-// one server that ingested every report itself. The wire reply truncates
-// counts to int64, so the comparison is at wire granularity on count and
-// exact on items and order.
+// one server that ingested every report itself. The wire reply carries
+// counts as raw IEEE 754 bits, so the comparison is exact on items, order
+// and float64 counts.
 func TestTreeEquivalenceTCP(t *testing.T) {
 	const n = 12000
 	params := treeParams(314)
@@ -250,7 +251,7 @@ func TestClientDisconnectMidFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	buf.WriteByte(cmdReport)
+	buf.Write([]byte{proto.IDPrivateExpanderSketch, cmdReport})
 	for _, rep := range reports {
 		if err := WriteFrame(&buf, rep); err != nil {
 			t.Fatal(err)
@@ -300,7 +301,7 @@ func TestCloseDuringIngestion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Write([]byte{cmdReport}); err != nil {
+	if _, err := conn.Write([]byte{proto.IDPrivateExpanderSketch, cmdReport}); err != nil {
 		t.Fatal(err)
 	}
 	// First half of the stream, guaranteed in flight before Close starts.

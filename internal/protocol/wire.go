@@ -1,107 +1,64 @@
-// Package protocol provides the wire format and a TCP transport for
-// PrivateExpanderSketch, so the "distributed database" of the paper is
-// exercised over a real network path: users serialize their single ε-LDP
-// report into a fixed 15-byte frame, an aggregation server absorbs frames
-// from any number of connections, and a control command triggers
-// identification.
+// Package protocol provides the generic TCP transport for the unified
+// aggregation surface of internal/proto: any proto.Aggregator — the
+// PrivateExpanderSketch protocol, the enumerable-domain variant, the two
+// frequency oracles or any of the Table 1 baselines — plugs into the same
+// Server, and every protocol's users serialize their single ε-LDP report
+// into the same self-describing wire frame.
+//
+// Connection protocol (all integers big endian):
+//
+//	preamble  [protocol ID][command]
+//
+// The protocol ID negotiates at connection time: a server rejects the
+// connection with an "ERR ...\n" line when the client's ID names a
+// different protocol than the server aggregates. ID 0x00 is the wildcard
+// for control commands that work against any server.
+//
+//	cmdReport         stream of fixed-size report frames until EOF; reply
+//	                  is one ACK byte after every frame was absorbed.
+//	cmdIdentify       no body; reply is u32 count, then per estimate
+//	                  u16 item length + item + f64 count (IEEE 754 bits, so
+//	                  the TCP path returns bit-identical estimates).
+//	cmdSnapshot       no body; reply is u32 length + snapshot blob
+//	                  (Mergeable aggregators only).
+//	cmdMergeSnapshot  u32 length + snapshot blob; reply is one ACK byte.
+//
+// A report frame is a complete proto.WireReport — [ID][codec version] +
+// fixed payload — so a stream is also self-describing frame by frame and a
+// misrouted or corrupted report is rejected by the aggregator, not
+// misparsed.
 package protocol
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 
 	"ldphh/internal/core"
-	"ldphh/internal/freqoracle"
+	"ldphh/internal/proto"
 )
 
-// Frame layout (big endian), 15 bytes:
-//
-//	offset size field
-//	0      1    version (currently 1)
-//	1      2    coordinate group m
-//	3      4    direct-report column
-//	7      1    direct-report bit (0 => -1, 1 => +1)
-//	8      2    confirmation row
-//	10     4    confirmation column
-//	14     1    confirmation bit (0 => -1, 1 => +1)
-//
-// FrameSize derives from core.ReportPayloadBytes — the constant
-// Protocol.BytesPerReport (the Table 1 communication metric) answers from
-// — plus the 1-byte version, so the two cannot drift apart.
-const (
-	Version   = 1
-	FrameSize = 1 + core.ReportPayloadBytes
-)
+// Version is the PES wire codec version (byte 1 of every PES report frame).
+const Version = 1
 
-// EncodeReport serializes a report into a fresh frame.
+// FrameSize is the PES report frame: the 2-byte [protocol ID][version]
+// header plus core.ReportPayloadBytes — the constant Protocol.BytesPerReport
+// (the Table 1 communication metric) answers from — so the two cannot
+// drift apart. Other protocols' frame sizes come from their registry
+// entries (proto.Codec.FrameBytes).
+const FrameSize = 2 + core.ReportPayloadBytes
+
+// EncodeReport serializes a PES report into a fresh wire frame.
 func EncodeReport(rep core.Report) ([]byte, error) {
-	if rep.M < 0 || rep.M > 0xffff {
-		return nil, fmt.Errorf("protocol: group %d does not fit the frame", rep.M)
-	}
-	if rep.Conf.Row < 0 || rep.Conf.Row > 0xffff {
-		return nil, fmt.Errorf("protocol: confirmation row %d does not fit the frame", rep.Conf.Row)
-	}
-	buf := make([]byte, FrameSize)
-	buf[0] = Version
-	binary.BigEndian.PutUint16(buf[1:], uint16(rep.M))
-	binary.BigEndian.PutUint32(buf[3:], rep.Dir.Col)
-	buf[7] = bitByte(rep.Dir.Bit)
-	binary.BigEndian.PutUint16(buf[8:], uint16(rep.Conf.Row))
-	binary.BigEndian.PutUint32(buf[10:], rep.Conf.Col)
-	buf[14] = bitByte(rep.Conf.Bit)
-	return buf, nil
+	wr, err := core.EncodeReportWire(rep)
+	return []byte(wr), err
 }
 
-// DecodeReport parses one frame.
+// DecodeReport parses and validates one PES wire frame.
 func DecodeReport(buf []byte) (core.Report, error) {
-	if len(buf) != FrameSize {
-		return core.Report{}, fmt.Errorf("protocol: frame length %d, want %d", len(buf), FrameSize)
-	}
-	if buf[0] != Version {
-		return core.Report{}, fmt.Errorf("protocol: unsupported version %d", buf[0])
-	}
-	dirBit, err := byteBit(buf[7])
-	if err != nil {
-		return core.Report{}, err
-	}
-	confBit, err := byteBit(buf[14])
-	if err != nil {
-		return core.Report{}, err
-	}
-	return core.Report{
-		M: int(binary.BigEndian.Uint16(buf[1:])),
-		Dir: freqoracle.DirectReport{
-			Col: binary.BigEndian.Uint32(buf[3:]),
-			Bit: dirBit,
-		},
-		Conf: freqoracle.HashtogramReport{
-			Row: int(binary.BigEndian.Uint16(buf[8:])),
-			Col: binary.BigEndian.Uint32(buf[10:]),
-			Bit: confBit,
-		},
-	}, nil
+	return core.DecodeReportWire(proto.WireReport(buf))
 }
 
-func bitByte(b int8) byte {
-	if b > 0 {
-		return 1
-	}
-	return 0
-}
-
-func byteBit(b byte) (int8, error) {
-	switch b {
-	case 0:
-		return -1, nil
-	case 1:
-		return 1, nil
-	default:
-		return 0, fmt.Errorf("protocol: invalid bit byte %d", b)
-	}
-}
-
-// WriteFrame writes one encoded report to w.
+// WriteFrame writes one encoded PES report to w.
 func WriteFrame(w io.Writer, rep core.Report) error {
 	buf, err := EncodeReport(rep)
 	if err != nil {
@@ -111,7 +68,7 @@ func WriteFrame(w io.Writer, rep core.Report) error {
 	return err
 }
 
-// ReadFrame reads one report from r. Returns io.EOF cleanly at end of
+// ReadFrame reads one PES report from r. Returns io.EOF cleanly at end of
 // stream.
 func ReadFrame(r io.Reader) (core.Report, error) {
 	buf := make([]byte, FrameSize)

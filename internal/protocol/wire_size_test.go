@@ -5,18 +5,30 @@ import (
 	"testing"
 
 	"ldphh/internal/core"
+	"ldphh/internal/proto"
 )
 
 // TestFrameSizePinnedToBytesPerReport pins the three places a report's wire
 // size is spoken for — the shared payload constant, the frame encoder's
 // actual output, and the Table 1 communication metric — to one value.
 // BytesPerReport is the payload (comparable with the baselines, which also
-// report framing-free sizes); the TCP frame adds exactly the 1-byte
-// version. A drift in any of them (the historical bug: the two constants
-// were written down independently) fails here.
+// report framing-free sizes); the wire frame adds exactly the 2-byte
+// [protocol ID][codec version] header every protocol's reports carry. A
+// drift in any of them (the historical bug: the two constants were written
+// down independently) fails here.
 func TestFrameSizePinnedToBytesPerReport(t *testing.T) {
-	if FrameSize != 1+core.ReportPayloadBytes {
-		t.Fatalf("FrameSize = %d, want 1 + core.ReportPayloadBytes = %d", FrameSize, 1+core.ReportPayloadBytes)
+	if FrameSize != 2+core.ReportPayloadBytes {
+		t.Fatalf("FrameSize = %d, want 2 + core.ReportPayloadBytes = %d", FrameSize, 2+core.ReportPayloadBytes)
+	}
+	codec, ok := proto.Lookup(proto.IDPrivateExpanderSketch)
+	if !ok {
+		t.Fatal("PES codec not registered")
+	}
+	if codec.FrameBytes() != FrameSize {
+		t.Fatalf("registry frame size %d, FrameSize = %d", codec.FrameBytes(), FrameSize)
+	}
+	if codec.PayloadBytes != core.ReportPayloadBytes {
+		t.Fatalf("registry payload %d, core.ReportPayloadBytes = %d", codec.PayloadBytes, core.ReportPayloadBytes)
 	}
 	p, err := core.New(core.Params{Eps: 2, N: 1000, ItemBytes: 4, Y: 16, Seed: 5})
 	if err != nil {
@@ -33,8 +45,8 @@ func TestFrameSizePinnedToBytesPerReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(buf) != p.BytesPerReport()+1 {
-		t.Fatalf("encoded frame is %d bytes, want payload %d + 1 version byte", len(buf), p.BytesPerReport())
+	if len(buf) != p.BytesPerReport()+2 {
+		t.Fatalf("encoded frame is %d bytes, want payload %d + 2 header bytes", len(buf), p.BytesPerReport())
 	}
 	if len(buf) != FrameSize {
 		t.Fatalf("encoded frame is %d bytes, FrameSize = %d", len(buf), FrameSize)

@@ -1,6 +1,7 @@
 package ldphh
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"ldphh/internal/baseline"
@@ -11,9 +12,40 @@ import (
 	"ldphh/internal/grouposition"
 	"ldphh/internal/ldp"
 	"ldphh/internal/lowerbound"
+	"ldphh/internal/proto"
 	"ldphh/internal/protocol"
 	"ldphh/internal/workload"
 )
+
+// The unified protocol surface (see DESIGN.md §2): every protocol in the
+// repository — PrivateExpanderSketch, SmallDomain, the two frequency
+// oracles and the three Table 1 baselines — satisfies Reporter (device
+// side) and Aggregator (server side) over self-describing WireReports, so
+// one generic TCP server, one benchmark harness and one merge tree drive
+// them all. Construct instances with New; detect snapshot/merge support
+// with AsMergeable.
+type (
+	// Reporter is the device side: one call per user, one WireReport out.
+	Reporter = proto.Reporter
+	// Aggregator is the server side: absorb wire reports, identify once.
+	Aggregator = proto.Aggregator
+	// Protocol is a full instance usable on either side (what New returns).
+	Protocol = proto.Protocol
+	// Mergeable is the optional snapshot/merge capability behind fan-in
+	// trees.
+	Mergeable = proto.Mergeable
+	// WireReport is one user's self-describing serialized message:
+	// [protocol ID][codec version][payload].
+	WireReport = proto.WireReport
+	// Calibrated is the optional capability of protocols that can state
+	// their recovery floor (benchmarks score recall against it). Every
+	// kind New constructs implements it.
+	Calibrated = proto.Calibrated
+)
+
+// AsMergeable reports whether an aggregator supports snapshot/merge
+// fan-in, returning the capability view when it does.
+func AsMergeable(a Aggregator) (Mergeable, bool) { return proto.AsMergeable(a) }
 
 // Params configures the PrivateExpanderSketch heavy-hitters protocol; see
 // core.Params for field documentation. Zero values derive the paper's
@@ -23,7 +55,9 @@ type Params = core.Params
 // Report is one user's single ε-LDP message.
 type Report = core.Report
 
-// Estimate is one identified item with its estimated multiplicity.
+// Estimate is one identified item with its estimated multiplicity — the
+// one estimate type every protocol returns (core.Estimate and
+// baseline.Estimate are the same type).
 type Estimate = core.Estimate
 
 // HeavyHitters is the PrivateExpanderSketch protocol instance
@@ -213,9 +247,17 @@ func ZipfDataset(d Domain, n, support int, s float64, rng *rand.Rand) (*Dataset,
 	return workload.Zipf(d, n, support, s, rng)
 }
 
-// NewServer starts a TCP aggregation server for one collection round.
+// NewServer starts a TCP aggregation server for one PrivateExpanderSketch
+// collection round.
 func NewServer(params Params, addr string) (*Server, error) {
 	return protocol.NewServer(params, addr)
+}
+
+// NewAggregationServer starts a TCP aggregation server around any
+// Aggregator — every protocol kind New constructs plugs into the same
+// generic server, which negotiates the protocol ID at connection time.
+func NewAggregationServer(agg Aggregator, addr string) (*Server, error) {
+	return protocol.NewGenericServer(agg, addr)
 }
 
 // SendReports streams reports to a server and waits for its acknowledgment.
@@ -223,9 +265,29 @@ func SendReports(addr string, reports []Report) error {
 	return protocol.SendReports(addr, reports)
 }
 
+// SendReportsContext is SendReports with deadline/cancellation propagation:
+// the context's deadline bounds the whole delivery, and cancellation
+// interrupts blocked I/O immediately.
+func SendReportsContext(ctx context.Context, addr string, reports []Report) error {
+	return protocol.SendReportsContext(ctx, addr, reports)
+}
+
+// SendWireReports streams pre-encoded wire reports of any protocol to a
+// server (all reports must carry one protocol ID).
+func SendWireReports(ctx context.Context, addr string, reports []WireReport) error {
+	return protocol.SendWire(ctx, addr, reports)
+}
+
 // RequestIdentify asks a server to identify and returns the estimates.
 func RequestIdentify(addr string) ([]Estimate, error) {
 	return protocol.RequestIdentify(addr)
+}
+
+// RequestIdentifyContext is RequestIdentify with deadline/cancellation
+// propagation: a wedged or slow server cannot block the caller past the
+// context's deadline.
+func RequestIdentifyContext(ctx context.Context, addr string) ([]Estimate, error) {
+	return protocol.RequestIdentifyContext(ctx, addr)
 }
 
 // Multi-aggregator trees. HeavyHitters state is a linear accumulator, so
@@ -245,8 +307,20 @@ func RequestSnapshot(addr string) ([]byte, error) {
 	return protocol.RequestSnapshot(addr)
 }
 
+// RequestSnapshotContext is RequestSnapshot with deadline/cancellation
+// propagation.
+func RequestSnapshotContext(ctx context.Context, addr string) ([]byte, error) {
+	return protocol.RequestSnapshotContext(ctx, addr)
+}
+
 // PushSnapshot ships a leaf snapshot to a parent aggregation server, which
 // merges it into its own state and acknowledges.
 func PushSnapshot(addr string, snap []byte) error {
 	return protocol.PushSnapshot(addr, snap)
+}
+
+// PushSnapshotContext is PushSnapshot with deadline/cancellation
+// propagation.
+func PushSnapshotContext(ctx context.Context, addr string, snap []byte) error {
+	return protocol.PushSnapshotContext(ctx, addr, snap)
 }

@@ -1,0 +1,202 @@
+package ldphh_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"ldphh"
+)
+
+// ordinalItem encodes v as a width-w big-endian item.
+func ordinalItem(v uint64, w int) []byte {
+	b := make([]byte, w)
+	for i := w - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}
+
+// TestNewAllKinds drives every registered protocol kind through the
+// functional-options constructor and one in-process round on the unified
+// surface: Report → Absorb → Identify(ctx), with the planted heavy item
+// recovered. It also pins each kind's capability story (which kinds
+// snapshot/merge).
+func TestNewAllKinds(t *testing.T) {
+	mergeableKinds := map[ldphh.Kind]bool{
+		ldphh.PrivateExpanderSketch: true,
+		ldphh.KindSmallDomain:       true,
+		ldphh.KindHashtogram:        true,
+		ldphh.KindDirectHistogram:   true,
+	}
+	// The population-splitting baselines carry a sqrt(n·L)-shaped recovery
+	// floor, so they need a larger round for the 40% heavy item to clear it.
+	sizeFor := map[ldphh.Kind]int{
+		ldphh.KindBitstogram: 20000,
+		ldphh.KindTreeHist:   20000,
+	}
+	heavy := ordinalItem(1, 2)
+	for _, kind := range ldphh.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := sizeFor[kind]
+			if n == 0 {
+				n = 6000
+			}
+			opts := []ldphh.Option{
+				ldphh.WithEps(4), ldphh.WithN(n), ldphh.WithItemBytes(2),
+				ldphh.WithSeed(99), ldphh.WithDomainSize(64),
+			}
+			if kind == ldphh.KindHashtogram {
+				opts = append(opts, ldphh.WithCandidates([][]byte{heavy, ordinalItem(2, 2)}))
+			}
+			h, err := ldphh.New(kind, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ldphh.Kind(h.ProtocolID()); got != kind {
+				t.Fatalf("ProtocolID %v, want %v", got, kind)
+			}
+			if _, ok := ldphh.AsMergeable(h); ok != mergeableKinds[kind] {
+				t.Fatalf("Mergeable = %v, want %v", ok, mergeableKinds[kind])
+			}
+			// One unified round: the same instance serves both halves here.
+			rng := rand.New(rand.NewPCG(3, 4))
+			trueHeavy := 0
+			for i := 0; i < n; i++ {
+				var item []byte
+				switch {
+				case i%10 < 4:
+					item = heavy
+					trueHeavy++
+				case i%10 < 7:
+					item = ordinalItem(2, 2)
+				default:
+					item = ordinalItem(uint64(3+i%32), 2)
+				}
+				wr, err := h.Report(item, i, rng)
+				if err != nil {
+					t.Fatalf("report %d: %v", i, err)
+				}
+				if err := h.Absorb(wr); err != nil {
+					t.Fatalf("absorb %d: %v", i, err)
+				}
+			}
+			if got := h.TotalReports(); got != n {
+				t.Fatalf("TotalReports = %d, want %d", got, n)
+			}
+			est, err := h.Identify(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, e := range est {
+				if bytes.Equal(e.Item, heavy) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("planted heavy item (%d of %d users) not identified", trueHeavy, n)
+			}
+		})
+	}
+}
+
+// TestKindNamesRoundTrip pins the flag-facing names and their parsing.
+func TestKindNamesRoundTrip(t *testing.T) {
+	want := map[ldphh.Kind]string{
+		ldphh.PrivateExpanderSketch: "pes",
+		ldphh.KindSmallDomain:       "smalldomain",
+		ldphh.KindHashtogram:        "hashtogram",
+		ldphh.KindDirectHistogram:   "directhistogram",
+		ldphh.KindBitstogram:        "bitstogram",
+		ldphh.KindTreeHist:          "treehist",
+		ldphh.KindBassilySmith:      "bassilysmith",
+	}
+	if got := len(ldphh.Kinds()); got != len(want) {
+		t.Fatalf("%d registered kinds, want %d", got, len(want))
+	}
+	for kind, name := range want {
+		if kind.String() != name {
+			t.Errorf("%v.String() = %q, want %q", kind, kind.String(), name)
+		}
+		parsed, err := ldphh.ParseKind(name)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", name, err)
+		} else if parsed != kind {
+			t.Errorf("ParseKind(%q) = %v, want %v", name, parsed, kind)
+		}
+	}
+	if _, err := ldphh.ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+// TestNewValidation pins the constructor's error paths.
+func TestNewValidation(t *testing.T) {
+	if _, err := ldphh.New(ldphh.Kind(0x7f), ldphh.WithEps(1), ldphh.WithN(10)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ldphh.New(ldphh.PrivateExpanderSketch, ldphh.WithN(100)); err == nil {
+		t.Error("missing eps accepted")
+	}
+	// Wide items with no explicit domain cannot be enumerated.
+	if _, err := ldphh.New(ldphh.KindBassilySmith,
+		ldphh.WithEps(1), ldphh.WithN(100), ldphh.WithItemBytes(4)); err == nil {
+		t.Error("4-byte bassilysmith without WithDomainSize accepted")
+	}
+	// With an explicit domain it works.
+	if _, err := ldphh.New(ldphh.KindBassilySmith,
+		ldphh.WithEps(1), ldphh.WithN(100), ldphh.WithItemBytes(4), ldphh.WithDomainSize(512)); err != nil {
+		t.Errorf("explicit domain rejected: %v", err)
+	}
+}
+
+// TestFacadeGenericServer runs one non-PES protocol end to end through the
+// public facade: New → NewAggregationServer → SendWireReports →
+// RequestIdentifyContext.
+func TestFacadeGenericServer(t *testing.T) {
+	const n = 3000
+	mk := func() ldphh.Protocol {
+		h, err := ldphh.New(ldphh.KindSmallDomain,
+			ldphh.WithEps(4), ldphh.WithN(n), ldphh.WithItemBytes(2), ldphh.WithDomainSize(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	device, agg := mk(), mk()
+	srv, err := ldphh.NewAggregationServer(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rng := rand.New(rand.NewPCG(8, 8))
+	heavy := ordinalItem(3, 2)
+	reports := make([]ldphh.WireReport, n)
+	for i := range reports {
+		item := ordinalItem(uint64(i%8), 2)
+		if i%2 == 0 {
+			item = heavy
+		}
+		if reports[i], err = device.Report(item, i, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	if err := ldphh.SendWireReports(ctx, srv.Addr(), reports); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Absorbed(); got != n {
+		t.Fatalf("server absorbed %d of %d", got, n)
+	}
+	est, err := ldphh.RequestIdentifyContext(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) == 0 || !bytes.Equal(est[0].Item, heavy) {
+		t.Fatalf("top estimate %+v, want heavy item %x", est, heavy)
+	}
+}
