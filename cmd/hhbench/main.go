@@ -32,6 +32,7 @@ var (
 	y         = flag.Int("y", 64, "per-coordinate hash range (pes)")
 	workers   = flag.Int("workers", 0, "Identify worker-pool size (pes; 0 = GOMAXPROCS)")
 	fleets    = flag.Int("fleets", 4, "concurrent sender connections (tcp transport)")
+	wire      = flag.String("wire", "batch", "tcp wire framing: batch (pipelined mega-batches) | stream (legacy per-frame)")
 	jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
 	outPath   = flag.String("out", "", "also write the (JSON) result to this file")
 )
@@ -51,6 +52,7 @@ func main() {
 		Y:         *y,
 		Workers:   *workers,
 		Fleets:    *fleets,
+		Wire:      *wire,
 	}
 	if *proto == "all" {
 		results, err := runAll(cfg)

@@ -1,0 +1,96 @@
+// Command hhload is the open-loop ingest load generator: it simulates a
+// million-device report fleet against the aggregation server's TCP wire
+// and measures what the ingest path sustains — reports/sec, p50/p99 ingest
+// latency, allocations per report.
+//
+// Each simulated device contributes one ε-LDP report (items zipf-drawn
+// over a configurable support). Reports are pre-generated, then -conns
+// concurrent senders deliver them in -batch sized calls over the selected
+// wire framing:
+//
+//	batch    cmdReportBatch mega-batches over a persistent IngestConn —
+//	         one dial per connection for the whole run (the saturation
+//	         path)
+//	stream   the legacy per-frame cmdReport framing, one dial per send
+//	         call (the pre-mega-batch status quo, kept as the baseline)
+//
+// With -rate > 0 the run is open loop: send slots fire on the global
+// arrival clock whether or not earlier sends finished, so p99 shows
+// queueing once the server falls behind. The default writes the
+// BENCH_ingest.json artifact comparing both wires for PES and Hashtogram:
+//
+//	hhload -devices 1000000 -out BENCH_ingest.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var (
+	protocols = flag.String("protocols", "pes,hashtogram", "comma-separated registered protocol names")
+	wires     = flag.String("wires", "batch,stream", "comma-separated wire framings to run (batch | stream)")
+	devices   = flag.Int("devices", 1_000_000, "simulated devices (one report each)")
+	conns     = flag.Int("conns", 8, "concurrent sender connections")
+	batch     = flag.Int("batch", 4096, "reports per mega-batch send (batch wire)")
+	strBatch  = flag.Int("stream-batch", 16, "reports per dial on the legacy stream wire")
+	rate      = flag.Float64("rate", 0, "target arrival rate in reports/sec; 0 opens the throttle")
+	eps       = flag.Float64("eps", 4, "privacy budget per device")
+	itemBytes = flag.Int("itembytes", 4, "item width in bytes")
+	zipfS     = flag.Float64("zipf-s", 1.1, "zipf exponent of the item distribution")
+	support   = flag.Int("support", 1000, "zipf support size")
+	seed      = flag.Uint64("seed", 1, "seed for all randomness")
+	y         = flag.Int("y", 64, "per-coordinate hash range (pes)")
+	outPath   = flag.String("out", "", "write the JSON artifact to this file")
+)
+
+func main() {
+	flag.Parse()
+	var results []*loadResult
+	for _, proto := range strings.Split(*protocols, ",") {
+		for _, wire := range strings.Split(*wires, ",") {
+			cfg := loadConfig{
+				Protocol:  strings.TrimSpace(proto),
+				Wire:      strings.TrimSpace(wire),
+				Devices:   *devices,
+				Conns:     *conns,
+				Batch:     *batch,
+				Rate:      *rate,
+				Eps:       *eps,
+				ItemBytes: *itemBytes,
+				ZipfS:     *zipfS,
+				Support:   *support,
+				Seed:      *seed,
+				Y:         *y,
+			}
+			if cfg.Wire == "stream" {
+				cfg.Batch = *strBatch
+			}
+			res, err := runLoad(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hhload: %s/%s: %v\n", cfg.Protocol, cfg.Wire, err)
+				os.Exit(1)
+			}
+			writeTextResult(os.Stdout, res)
+			results = append(results, res)
+		}
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeResults(f, results); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldphh/internal/core"
+	"ldphh/internal/proto"
+)
+
+// testRng returns a deterministic per-test rng.
+func testRng(stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(0x1095e57, stream))
+}
+
+// acceptAgg builds a small PES aggregator pair (device, server) for the
+// accept-loop tests.
+func acceptAgg(t *testing.T) (proto.Reporter, proto.Aggregator) {
+	t.Helper()
+	params := core.Params{Eps: 2, N: 1000, ItemBytes: 4, Y: 16, Seed: 41}
+	dev, err := core.NewPESWire(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := core.NewPESWire(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, agg
+}
+
+// tempAcceptErr is a synthetic transient Accept failure (what EMFILE under
+// load surfaces as through the net package's Temporary classification).
+type tempAcceptErr struct{}
+
+func (tempAcceptErr) Error() string   { return "synthetic temporary accept failure" }
+func (tempAcceptErr) Temporary() bool { return true }
+func (tempAcceptErr) Timeout() bool   { return false }
+
+// flakyListener injects a burst of temporary Accept failures before
+// delegating to the real listener.
+type flakyListener struct {
+	net.Listener
+	mu       sync.Mutex
+	failures int
+	injected int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.failures > 0 {
+		l.failures--
+		l.injected++
+		l.mu.Unlock()
+		return nil, tempAcceptErr{}
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// permDeadListener fails its first Accept with a permanent error; the
+// accept loop must stop and surface it (it is never called again).
+type permDeadListener struct {
+	net.Listener
+	mu    sync.Mutex
+	fired bool
+}
+
+var errListenerDied = errors.New("synthetic permanent listener failure")
+
+func (l *permDeadListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.fired {
+		l.fired = true
+		return nil, errListenerDied
+	}
+	return nil, errors.New("Accept called again after a permanent failure")
+}
+
+// TestAcceptLoopRetriesTemporaryErrors: a transient Accept failure (e.g.
+// EMFILE under load) must not kill the listener — the loop backs off,
+// retries, and the server keeps serving. Regression: the loop used to
+// return on any Accept error, permanently and silently deafening the
+// server while Close still reported success.
+func TestAcceptLoopRetriesTemporaryErrors(t *testing.T) {
+	dev, agg := acceptAgg(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: ln, failures: 3}
+	srv, err := ServeListener(agg, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep, err := dev.Report([]byte{0, 0, 0, 1}, 0, testRng(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := SendWireBatch(ctx, srv.Addr(), []proto.WireReport{rep}); err != nil {
+		t.Fatalf("server did not recover from temporary accept failures: %v", err)
+	}
+	fl.mu.Lock()
+	injected := fl.injected
+	fl.mu.Unlock()
+	if injected != 3 {
+		t.Fatalf("injected %d of 3 temporary failures", injected)
+	}
+	if got := srv.Absorbed(); got != 1 {
+		t.Fatalf("absorbed %d reports, want 1", got)
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("temporary failures surfaced as permanent death: %v", err)
+	}
+}
+
+// TestAcceptLoopSurfacesPermanentDeath: a permanent listener failure must
+// be observable — Done() closes, Err() reports the cause, and Close
+// relays it instead of reporting success over a dead server.
+func TestAcceptLoopSurfacesPermanentDeath(t *testing.T) {
+	_, agg := acceptAgg(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeListener(agg, &permDeadListener{Listener: ln})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("listener death was never surfaced on Done()")
+	}
+	if err := srv.Err(); !errors.Is(err, errListenerDied) {
+		t.Fatalf("Err() = %v, want the fatal accept error", err)
+	}
+	if err := srv.Close(); !errors.Is(err, errListenerDied) {
+		t.Fatalf("Close() = %v, want the fatal accept error (not silent success)", err)
+	}
+}
+
+// TestCloseAfterTemporaryBackoff: Close during a temporary-error backoff
+// window must return promptly instead of waiting out the retry timer
+// against a listener that keeps failing.
+func TestCloseAfterTemporaryBackoff(t *testing.T) {
+	_, agg := acceptAgg(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An endless temporary-failure storm: the loop should sit in backoff.
+	fl := &flakyListener{Listener: ln, failures: 1 << 30}
+	srv, err := ServeListener(agg, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the loop enter backoff
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil && !strings.Contains(err.Error(), "use of closed") {
+			t.Fatalf("Close during backoff: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged behind the accept backoff")
+	}
+}

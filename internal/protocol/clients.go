@@ -88,39 +88,81 @@ func awaitAck(r *bufio.Reader, op string) error {
 	return fmt.Errorf("protocol: server rejected %s: %s", op, strings.TrimSpace(string(first)+msg))
 }
 
+// closeWriter is the half-close capability the stream report path depends
+// on: the server only learns a cmdReport stream ended when the write side
+// closes. *net.TCPConn has it; so do *tls.Conn and the unix-socket conn.
+type closeWriter interface{ CloseWrite() error }
+
 // SendWire streams pre-encoded wire reports to the server over one
-// connection and waits for the acknowledgment that every frame was
-// absorbed. All reports must belong to one protocol (the first report's ID
-// is negotiated for the connection); an empty batch is a no-op.
+// connection in the legacy cmdReport framing and waits for the
+// acknowledgment that every frame was absorbed. All reports must belong to
+// one protocol (the first report's ID is negotiated for the connection);
+// an empty batch is a no-op.
+//
+// The stream framing needs a connection that can half-close (the server
+// reads until EOF); SendWire fails fast with an explicit error on any
+// other connection type instead of hanging both ends. SendWireBatch and
+// IngestConn use the length-prefixed mega-batch framing, which has no EOF
+// dependence at all and also amortizes the dial over many batches.
 func SendWire(ctx context.Context, addr string, reports []proto.WireReport) error {
 	if len(reports) == 0 {
 		return nil
 	}
-	id := reports[0].ProtocolID()
 	return withConn(ctx, addr, func(conn net.Conn) error {
-		bw := bufio.NewWriter(conn)
-		if err := writePreamble(bw, id, cmdReport); err != nil {
-			return err
-		}
-		for _, wr := range reports {
-			if got := wr.ProtocolID(); got != id {
-				return fmt.Errorf("protocol: mixed protocol IDs in one batch (%#02x and %#02x)", id, got)
-			}
-			if _, err := bw.Write(wr); err != nil {
-				return err
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
-		// Half-close the write side so the server sees EOF, then wait for ACK.
-		if tc, ok := conn.(*net.TCPConn); ok {
-			if err := tc.CloseWrite(); err != nil {
-				return err
-			}
-		}
-		return awaitAck(bufio.NewReader(conn), "batch")
+		return streamWire(conn, reports)
 	})
+}
+
+// streamWire writes the cmdReport preamble plus every frame, half-closes,
+// and waits for the ACK. Split from SendWire so the half-close contract is
+// testable on a non-TCP connection.
+func streamWire(conn net.Conn, reports []proto.WireReport) error {
+	cw, ok := conn.(closeWriter)
+	if !ok {
+		// Without a half-close the server never sees EOF and both sides
+		// hang: the server waiting for more frames, the client for the ACK.
+		// Fail before the first byte rather than wedge.
+		return fmt.Errorf("protocol: connection type %T cannot half-close (no CloseWrite); the cmdReport stream framing needs EOF — use the mega-batch framing (SendWireBatch/IngestConn) instead", conn)
+	}
+	id := reports[0].ProtocolID()
+	bw := bufio.NewWriter(conn)
+	if err := writePreamble(bw, id, cmdReport); err != nil {
+		return err
+	}
+	for _, wr := range reports {
+		if got := wr.ProtocolID(); got != id {
+			return fmt.Errorf("protocol: mixed protocol IDs in one batch (%#02x and %#02x)", id, got)
+		}
+		if _, err := bw.Write(wr); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Half-close the write side so the server sees EOF, then wait for ACK.
+	if err := cw.CloseWrite(); err != nil {
+		return err
+	}
+	return awaitAck(bufio.NewReader(conn), "batch")
+}
+
+// SendWireBatch delivers pre-encoded wire reports in one cmdReportBatch
+// command over one connection and waits for the acknowledgment. The
+// length-prefixed framing needs no half-close handshake; for repeated
+// batches prefer DialIngest, which amortizes the dial across the whole
+// session. All reports must belong to one protocol; an empty batch is a
+// no-op.
+func SendWireBatch(ctx context.Context, addr string, reports []proto.WireReport) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	c, err := DialIngest(ctx, addr, reports[0].ProtocolID())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.SendBatch(ctx, reports)
 }
 
 // SendReports streams PES reports to the server and waits for its
@@ -130,6 +172,8 @@ func SendReports(addr string, reports []core.Report) error {
 }
 
 // SendReportsContext is SendReports with deadline/cancellation propagation.
+// Delivery rides the mega-batch framing (one length-prefixed command, no
+// EOF handshake); the absorbed state is bit-identical to the stream path.
 func SendReportsContext(ctx context.Context, addr string, reports []core.Report) error {
 	wrs := make([]proto.WireReport, len(reports))
 	for i, rep := range reports {
@@ -139,7 +183,167 @@ func SendReportsContext(ctx context.Context, addr string, reports []core.Report)
 		}
 		wrs[i] = wr
 	}
-	return SendWire(ctx, addr, wrs)
+	return SendWireBatch(ctx, addr, wrs)
+}
+
+// IngestConn is a persistent ingest session: one TCP connection carrying
+// any number of cmdReportBatch commands, so the dial (and the per-frame
+// syscall overhead) amortizes across an entire device fleet's worth of
+// reports instead of being paid per batch. It is the client half of the
+// million-device ingest path — cmd/hhload drives servers to saturation
+// through it.
+//
+// An IngestConn is not safe for concurrent use; open one per sending
+// goroutine. After any error the connection is dead: Close it and dial
+// again.
+type IngestConn struct {
+	conn     net.Conn
+	bw       *bufio.Writer
+	br       *bufio.Reader
+	id       byte
+	frameLen int
+}
+
+// DialIngest opens an ingest session to a server for the protocol with the
+// given registered ID. The context bounds the dial only; each SendBatch
+// call takes its own context.
+func DialIngest(ctx context.Context, addr string, id byte) (*IngestConn, error) {
+	codec, ok := proto.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("protocol: protocol ID %#02x has no registered codec", id)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &IngestConn{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 1<<16),
+		br:       bufio.NewReader(conn),
+		id:       id,
+		frameLen: codec.FrameBytes(),
+	}
+	// The protocol ID negotiates once per connection; it flushes with the
+	// first batch.
+	if err := c.bw.WriteByte(id); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// FrameBytes returns the fixed wire frame length of the session's protocol
+// (the unit SendEncoded slabs must be a multiple of).
+func (c *IngestConn) FrameBytes() int { return c.frameLen }
+
+// Close tears the session down.
+func (c *IngestConn) Close() error { return c.conn.Close() }
+
+// runWithCtx mirrors withConn's deadline/cancellation wiring for one
+// operation on the persistent connection: ctx's deadline becomes the conn
+// deadline for the call, cancellation snaps it into the past, and the
+// deadline is cleared afterwards so later calls start fresh.
+func (c *IngestConn) runWithCtx(ctx context.Context, fn func() error) error {
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(dl); err != nil {
+			return err
+		}
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	stop := context.AfterFunc(ctx, func() { c.conn.SetDeadline(time.Now()) })
+	defer stop()
+	if err := fn(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("protocol: %w (%v)", ctxErr, err)
+		}
+		// Same poller-skew handling as withConn: an I/O timeout at ctx's
+		// imminent deadline is the context expiring a hair early.
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < time.Second {
+				<-ctx.Done()
+				return fmt.Errorf("protocol: %w (%v)", ctx.Err(), err)
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// SendBatch delivers one mega-batch of pre-encoded reports and waits for
+// the acknowledgment that every frame was absorbed. All reports must carry
+// the session's protocol ID and the codec's exact frame length; an empty
+// batch is a no-op. The whole exchange — header, frames, ACK — stays on
+// the session's connection, so consecutive batches pay zero dials and the
+// frames ride a handful of large writes.
+func (c *IngestConn) SendBatch(ctx context.Context, reports []proto.WireReport) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	if len(reports) > maxBatchFrames {
+		return fmt.Errorf("protocol: batch of %d frames exceeds the %d-frame cap; split it", len(reports), maxBatchFrames)
+	}
+	return c.runWithCtx(ctx, func() error {
+		if err := c.bw.WriteByte(cmdReportBatch); err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(reports)))
+		if _, err := c.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		for _, wr := range reports {
+			if got := wr.ProtocolID(); got != c.id {
+				return fmt.Errorf("protocol: mixed protocol IDs in one batch (%#02x and %#02x)", c.id, got)
+			}
+			if len(wr) != c.frameLen {
+				return fmt.Errorf("protocol: report of %d bytes in a %d-byte-frame batch", len(wr), c.frameLen)
+			}
+			if _, err := c.bw.Write(wr); err != nil {
+				return err
+			}
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		return awaitAck(c.br, "batch")
+	})
+}
+
+// SendEncoded delivers one mega-batch from a pre-packed contiguous slab of
+// frames (length a multiple of FrameBytes) and waits for the
+// acknowledgment. This is the zero-copy fast path for senders that keep
+// their fleet's reports densely encoded — the slab goes to the socket as
+// one write, with no per-report slice handling at all.
+func (c *IngestConn) SendEncoded(ctx context.Context, slab []byte) error {
+	if len(slab) == 0 {
+		return nil
+	}
+	if len(slab)%c.frameLen != 0 {
+		return fmt.Errorf("protocol: slab of %d bytes is not a whole number of %d-byte frames", len(slab), c.frameLen)
+	}
+	count := len(slab) / c.frameLen
+	if count > maxBatchFrames {
+		return fmt.Errorf("protocol: batch of %d frames exceeds the %d-frame cap; split it", count, maxBatchFrames)
+	}
+	return c.runWithCtx(ctx, func() error {
+		if err := c.bw.WriteByte(cmdReportBatch); err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(count))
+		if _, err := c.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := c.bw.Write(slab); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		return awaitAck(c.br, "batch")
+	})
 }
 
 // readEstimates parses the identify reply: u32 count, then per estimate a

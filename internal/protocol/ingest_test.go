@@ -1,0 +1,466 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ldphh/internal/core"
+	"ldphh/internal/freqoracle"
+	"ldphh/internal/proto"
+)
+
+// ingestServer builds a fresh PES server plus a deterministic wire-report
+// population shared across delivery paths.
+func ingestServer(t testing.TB, seed uint64) *Server {
+	t.Helper()
+	srv, err := NewServer(treeParams(seed), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func wireReports(t testing.TB, seed uint64, n int) []proto.WireReport {
+	t.Helper()
+	reps := treeReports(t, treeParams(seed), n)
+	wrs := make([]proto.WireReport, n)
+	for i, rep := range reps {
+		wr, err := core.EncodeReportWire(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrs[i] = wr
+	}
+	return wrs
+}
+
+// TestMegaBatchEquivalentToStream: the same report multiset delivered over
+// the legacy cmdReport stream, one cmdReportBatch command, and a pipelined
+// IngestConn session (batches crossing both the shardAfter graduation and
+// the window boundary) must produce bit-identical aggregate state — same
+// TotalReports, bit-identical Identify estimates.
+func TestMegaBatchEquivalentToStream(t *testing.T) {
+	const n = 9000
+	const seed = 4242
+	wrs := wireReports(t, seed, n)
+	ctx := context.Background()
+
+	deliver := map[string]func(addr string) error{
+		"stream": func(addr string) error {
+			return SendWire(ctx, addr, wrs)
+		},
+		"one-batch": func(addr string) error {
+			return SendWireBatch(ctx, addr, wrs)
+		},
+		"pipelined": func(addr string) error {
+			c, err := DialIngest(ctx, addr, proto.IDPrivateExpanderSketch)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			// 5000 crosses windowFrames within one command; the rest crosses
+			// the command boundary.
+			for lo := 0; lo < len(wrs); lo += 5000 {
+				hi := min(lo+5000, len(wrs))
+				if err := c.SendBatch(ctx, wrs[lo:hi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+
+	type outcome struct {
+		absorbed int
+		est      []proto.Estimate
+	}
+	results := map[string]outcome{}
+	for name, send := range deliver {
+		srv := ingestServer(t, seed)
+		if err := send(srv.Addr()); err != nil {
+			t.Fatalf("%s delivery: %v", name, err)
+		}
+		if got := srv.Absorbed(); got != n {
+			t.Fatalf("%s delivery absorbed %d of %d", name, got, n)
+		}
+		est, err := RequestIdentify(srv.Addr())
+		if err != nil {
+			t.Fatalf("%s identify: %v", name, err)
+		}
+		results[name] = outcome{srv.Absorbed(), est}
+	}
+
+	ref := results["stream"]
+	for name, got := range results {
+		if got.absorbed != ref.absorbed {
+			t.Errorf("%s absorbed %d, stream absorbed %d", name, got.absorbed, ref.absorbed)
+		}
+		if len(got.est) != len(ref.est) {
+			t.Fatalf("%s identified %d items, stream identified %d", name, len(got.est), len(ref.est))
+		}
+		for i := range got.est {
+			if !bytes.Equal(got.est[i].Item, ref.est[i].Item) ||
+				math.Float64bits(got.est[i].Count) != math.Float64bits(ref.est[i].Count) {
+				t.Errorf("%s estimate %d = (%x, %v), stream = (%x, %v)", name, i,
+					got.est[i].Item, got.est[i].Count, ref.est[i].Item, ref.est[i].Count)
+			}
+		}
+	}
+}
+
+// TestIngestConnPipelinesBatches: one connection carries many mega-batches
+// back to back — connection reuse is the point of the framing — and the
+// server's count is exact afterwards.
+func TestIngestConnPipelinesBatches(t *testing.T) {
+	const batches = 16
+	const per = 750
+	wrs := wireReports(t, 77, batches*per)
+	srv := ingestServer(t, 77)
+	ctx := context.Background()
+	c, err := DialIngest(ctx, srv.Addr(), proto.IDPrivateExpanderSketch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for b := 0; b < batches; b++ {
+		if err := c.SendBatch(ctx, wrs[b*per:(b+1)*per]); err != nil {
+			t.Fatalf("batch %d on the shared connection: %v", b, err)
+		}
+	}
+	if got := srv.Absorbed(); got != batches*per {
+		t.Fatalf("absorbed %d of %d across a pipelined connection", got, batches*per)
+	}
+	if _, err := RequestIdentify(srv.Addr()); err != nil {
+		t.Fatalf("identify after pipelined ingest: %v", err)
+	}
+}
+
+// TestBatchFramingNeedsNoHalfClose: the length-prefixed mega-batch framing
+// must work over a connection with no CloseWrite at all (net.Pipe) — the
+// EOF dependence of the stream framing is gone.
+func TestBatchFramingNeedsNoHalfClose(t *testing.T) {
+	srv := ingestServer(t, 99)
+	wrs := wireReports(t, 99, 600)
+
+	cli, srvConn := net.Pipe()
+	defer cli.Close()
+	handleDone := make(chan struct{})
+	go func() {
+		defer close(handleDone)
+		srv.handle(srvConn) //nolint:errcheck // ends with the pipe close
+		srvConn.Close()
+	}()
+
+	c := &IngestConn{
+		conn:     cli,
+		bw:       bufio.NewWriterSize(cli, 1<<16),
+		br:       bufio.NewReader(cli),
+		id:       proto.IDPrivateExpanderSketch,
+		frameLen: FrameSize,
+	}
+	if err := c.bw.WriteByte(c.id); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.SendBatch(ctx, wrs[:300]); err != nil {
+		t.Fatalf("batch over a pipe (no CloseWrite): %v", err)
+	}
+	if err := c.SendBatch(ctx, wrs[300:]); err != nil {
+		t.Fatalf("second batch over a pipe: %v", err)
+	}
+	if got := srv.Absorbed(); got != 600 {
+		t.Fatalf("absorbed %d of 600 over the pipe", got)
+	}
+	cli.Close()
+	select {
+	case <-handleDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not exit after the pipe closed")
+	}
+}
+
+// TestStreamRequiresCloseWrite: the legacy stream framing on a connection
+// that cannot half-close must fail fast with an explicit error instead of
+// wedging both ends waiting for an EOF that never comes.
+func TestStreamRequiresCloseWrite(t *testing.T) {
+	cli, srvConn := net.Pipe()
+	defer cli.Close()
+	defer srvConn.Close()
+	wrs := wireReports(t, 13, 1)
+	err := streamWire(cli, wrs)
+	if err == nil {
+		t.Fatal("stream framing accepted a connection with no CloseWrite")
+	}
+	if !strings.Contains(err.Error(), "half-close") {
+		t.Fatalf("error %q does not explain the missing half-close", err)
+	}
+}
+
+// TestBatchRejectsOversizedCount: a hostile count header beyond the batch
+// cap is rejected with an ERR reply before any frame is read.
+func TestBatchRejectsOversizedCount(t *testing.T) {
+	srv := ingestServer(t, 55)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := make([]byte, 6)
+	msg[0] = proto.IDPrivateExpanderSketch
+	msg[1] = cmdReportBatch
+	binary.BigEndian.PutUint32(msg[2:], maxBatchFrames+1)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, _ := io.ReadAll(conn)
+	if !strings.Contains(string(reply), "cap") {
+		t.Fatalf("oversized batch reply %q does not reject the frame cap", reply)
+	}
+	if got := srv.Absorbed(); got != 0 {
+		t.Fatalf("oversized batch absorbed %d reports", got)
+	}
+}
+
+// poisonVersion returns a copy of wr with a corrupted codec version byte:
+// it passes the client's protocol-ID check but fails server-side decode.
+func poisonVersion(wr proto.WireReport) proto.WireReport {
+	bad := append(proto.WireReport(nil), wr...)
+	bad[1] ^= 0x7f
+	return bad
+}
+
+// TestStreamPoisonedFrameDrained: when Absorb fails mid-stream the server
+// must drain the rest of the stream before replying ERR. Regression: it
+// used to stop reading immediately, so a context-free client still
+// writing a multi-megabyte stream wedged against a full send buffer (or
+// died on RST) and never saw the real error.
+func TestStreamPoisonedFrameDrained(t *testing.T) {
+	srv := ingestServer(t, 31)
+	good := wireReports(t, 31, 6)
+	// ~6.5 MB of stream after the poison — far beyond the socket buffers,
+	// so an undrained server provably wedges or resets this client.
+	const tail = 400_000
+	wrs := make([]proto.WireReport, 0, 6+tail)
+	wrs = append(wrs, good[:5]...)
+	wrs = append(wrs, poisonVersion(good[5]))
+	for i := 0; i < tail; i++ {
+		wrs = append(wrs, good[5])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := SendWire(ctx, srv.Addr(), wrs)
+	if err == nil {
+		t.Fatal("poisoned stream accepted")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("client saw %q instead of the server's ERR reply (wedged or reset mid-write?)", err)
+	}
+	if got := srv.Absorbed(); got != 5 {
+		t.Fatalf("absorbed %d reports, want the 5-frame valid prefix", got)
+	}
+	// The server survived the poisoned connection.
+	if err := SendWireBatch(ctx, srv.Addr(), good[:5]); err != nil {
+		t.Fatalf("server wedged after a poisoned stream: %v", err)
+	}
+}
+
+// TestBatchPoisonedFrameDrained is the mega-batch twin: an AbsorbBatch
+// failure mid-command drains the declared remainder (its exact length is
+// known) before the ERR reply, and the valid prefix keeps counting.
+func TestBatchPoisonedFrameDrained(t *testing.T) {
+	srv := ingestServer(t, 32)
+	good := wireReports(t, 32, 400)
+	// Poison inside the first window, with most of the batch still unsent:
+	// windowFrames+ more frames follow the poison.
+	wrs := make([]proto.WireReport, 0, 400+2*windowFrames)
+	wrs = append(wrs, good[:300]...)
+	wrs = append(wrs, poisonVersion(good[300]))
+	for i := 0; i < 2*windowFrames; i++ {
+		wrs = append(wrs, good[i%400])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := SendWireBatch(ctx, srv.Addr(), wrs)
+	if err == nil {
+		t.Fatal("poisoned batch accepted")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("client saw %q instead of the server's ERR reply", err)
+	}
+	if got := srv.Absorbed(); got != 300 {
+		t.Fatalf("absorbed %d reports, want the 300-frame valid prefix", got)
+	}
+	if err := SendWireBatch(ctx, srv.Addr(), good); err != nil {
+		t.Fatalf("server wedged after a poisoned batch: %v", err)
+	}
+}
+
+// TestWindowedAbsorbErrorValidPrefix pins the unified error semantics of
+// the windowed stream branch. Regression: an AbsorbBatch failure on a
+// full mid-stream window used to return immediately — no drain, different
+// accounting than the tail flush. Now every path counts the valid prefix
+// (every frame up to the first invalid one) and the client reads the real
+// ERR reply.
+func TestWindowedAbsorbErrorValidPrefix(t *testing.T) {
+	srv := ingestServer(t, 33)
+	const prefix = shardAfter + 100 // poison lands inside the first window
+	total := shardAfter + windowFrames + 1000
+	good := wireReports(t, 33, prefix+1)
+	wrs := make([]proto.WireReport, 0, total+1)
+	wrs = append(wrs, good[:prefix]...)
+	wrs = append(wrs, poisonVersion(good[prefix]))
+	for len(wrs) < total {
+		wrs = append(wrs, good[0])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := SendWire(ctx, srv.Addr(), wrs)
+	if err == nil {
+		t.Fatal("poisoned windowed stream accepted")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("client saw %q instead of the server's ERR reply", err)
+	}
+	if got := srv.Absorbed(); got != prefix {
+		t.Fatalf("TotalReports = %d, want the %d-frame valid prefix (same as the tail-flush semantics)", got, prefix)
+	}
+	if err := SendWireBatch(ctx, srv.Addr(), good[:10]); err != nil {
+		t.Fatalf("server wedged after the windowed error: %v", err)
+	}
+}
+
+// TestBatchDecodeAllocs pins the zero-allocation contract of the
+// mega-batch decode path: pooled window buffers, pre-sliced frame views,
+// no per-frame (and no per-window-beyond-the-aggregator) heap traffic.
+func TestBatchDecodeAllocs(t *testing.T) {
+	cases := []struct {
+		name  string
+		id    byte
+		build func(t *testing.T) (proto.Reporter, proto.Aggregator)
+	}{
+		{
+			name: "pes", id: proto.IDPrivateExpanderSketch,
+			build: func(t *testing.T) (proto.Reporter, proto.Aggregator) {
+				params := core.Params{Eps: 4, N: 20000, ItemBytes: 4, Y: 16, Seed: 8}
+				dev, err := core.NewPESWire(params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				agg, err := core.NewPESWire(params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return dev, agg
+			},
+		},
+		{
+			name: "hashtogram", id: proto.IDHashtogram,
+			build: func(t *testing.T) (proto.Reporter, proto.Aggregator) {
+				mk := func() *freqoracle.HashtogramWire {
+					w, err := freqoracle.NewHashtogramWire(
+						freqoracle.HashtogramParams{Eps: 4, N: 20000, Seed: 8},
+						[][]byte{freqoracle.OrdinalBytes(1, 4)}, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return w
+				}
+				return mk(), mk()
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev, agg := tc.build(t)
+			srv, err := NewGenericServer(agg, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			// One full window of frames as a pre-encoded batch body:
+			// u32 count + contiguous frames.
+			const frames = windowFrames
+			rng := testRng(5)
+			var body bytes.Buffer
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], frames)
+			body.Write(hdr[:])
+			for i := 0; i < frames; i++ {
+				wr, err := dev.Report(freqoracle.OrdinalBytes(uint64(1+i%7), 4), i, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body.Write(wr)
+			}
+			raw := body.Bytes()
+
+			rd := bytes.NewReader(raw)
+			br := bufio.NewReaderSize(rd, 1<<16)
+			run := func() {
+				rd.Reset(raw)
+				br.Reset(rd)
+				if err := srv.handleReportBatch(br); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the window pool before measuring
+			perRun := testing.AllocsPerRun(20, run)
+			perReport := perRun / frames
+			t.Logf("%s: %.1f allocs/window, %.5f allocs/report", tc.name, perRun, perReport)
+			if perReport > 0.05 {
+				t.Errorf("batch decode path allocates %.4f/report (%.1f per %d-frame window), want ~0",
+					perReport, perRun, frames)
+			}
+		})
+	}
+}
+
+// BenchmarkIngestWire measures end-to-end delivered reports/sec of the two
+// wire framings over real TCP — the per-frame stream path against the
+// mega-batch path — so the gain shows up in `go test -bench IngestWire`.
+func BenchmarkIngestWire(b *testing.B) {
+	for _, mode := range []string{"stream", "batch"} {
+		b.Run(mode, func(b *testing.B) {
+			params := treeParams(17)
+			srv, err := NewServer(params, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			wrs := wireReports(b, 17, 4096)
+			ctx := context.Background()
+			var c *IngestConn
+			if mode == "batch" {
+				if c, err = DialIngest(ctx, srv.Addr(), proto.IDPrivateExpanderSketch); err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "batch" {
+					err = c.SendBatch(ctx, wrs)
+				} else {
+					err = SendWire(ctx, srv.Addr(), wrs)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(wrs))/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}

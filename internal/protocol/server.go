@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"ldphh/internal/core"
 	"ldphh/internal/proto"
@@ -22,6 +23,7 @@ const (
 	cmdIdentify      = 0x02 // triggers identification; reply is the estimate list
 	cmdSnapshot      = 0x03 // stream my accumulated state out (length-prefixed blob)
 	cmdMergeSnapshot = 0x04 // absorb a child aggregator's state (length-prefixed blob)
+	cmdReportBatch   = 0x05 // u32 frame count + that many contiguous frames; pipelined
 )
 
 // maxSnapshotBytes bounds the length prefix either side of a snapshot
@@ -44,6 +46,14 @@ const maxSnapshotBytes = 1 << 30
 // the per-report Absorb path, which is cheaper than batch setup for a
 // handful of frames.
 //
+// The hot ingest path is allocation-free per report: frames land in pooled
+// fixed-size window buffers (one buffer per in-flight connection window,
+// pre-sliced into WireReport views), so the steady-state batch path costs
+// ~0 heap allocations per report — see TestBatchDecodeAllocs for the pin.
+// Memory per connection is bounded by one window; a sender that outruns
+// absorption is parked by TCP flow control rather than buffered without
+// bound.
+//
 // Aggregators that additionally implement proto.Mergeable (capability
 // detected at runtime) answer the snapshot/merge commands that compose
 // servers into fan-in trees; others reject those commands with an ERR
@@ -56,17 +66,56 @@ type Server struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+
+	windows sync.Pool // *frameWindow sized for this codec's frames
+
+	// Permanent listener death outside Close: dieOnce records the fatal
+	// Accept error and closes dead so operators can watch for it (Err,
+	// Done) instead of discovering a silently deaf server.
+	dieOnce sync.Once
+	dead    chan struct{}
+	diedErr error
 }
 
 const (
 	// shardAfter is the stream length at which a connection graduates from
 	// per-report locked absorption to windowed batch absorption.
 	shardAfter = 256
-	// mergeEvery bounds how many frames a connection buffers before folding
-	// into the aggregator, so TotalReports tracks long-lived streams and an
-	// aborted connection loses at most one partial window.
-	mergeEvery = 1 << 16
+	// windowFrames bounds how many frames a connection buffers before
+	// folding into the aggregator: the per-connection memory ceiling and
+	// the unit of backpressure (a sender is parked by TCP flow control
+	// while its window absorbs). An aborted connection loses at most one
+	// partial window. 4Ki frames keeps a pooled window at ~64 KiB; this
+	// presumes AbsorbBatch costs O(batch) per call (PES absorbs under one
+	// mutex acquisition rather than merging a sketch-sized accumulator
+	// copy, which at n = 10^6 would dominate ingest at this granularity).
+	windowFrames = 4096
+	// maxBatchFrames caps the frame count one cmdReportBatch command may
+	// declare, bounding how long a single command can monopolize a
+	// connection handler and keeping a hostile count header from looking
+	// plausible. Larger ingests pipeline multiple batch commands on one
+	// connection.
+	maxBatchFrames = 1 << 22
 )
+
+// frameWindow is one pooled read window: a contiguous frame buffer plus the
+// aliasing WireReport views, sliced once at construction so the hot loop
+// never re-slices (and never allocates) per frame or per window.
+type frameWindow struct {
+	buf []byte
+	wrs []proto.WireReport
+}
+
+func newFrameWindow(frameLen int) *frameWindow {
+	w := &frameWindow{
+		buf: make([]byte, windowFrames*frameLen),
+		wrs: make([]proto.WireReport, windowFrames),
+	}
+	for i := range w.wrs {
+		w.wrs[i] = proto.WireReport(w.buf[i*frameLen : (i+1)*frameLen])
+	}
+	return w
+}
 
 // NewServer constructs a PrivateExpanderSketch server around a fresh
 // protocol with the given parameters and starts listening on addr (use
@@ -90,15 +139,36 @@ func NewServer(params core.Params, addr string) (*Server, error) {
 // listening on addr. The aggregator's protocol must have a registered wire
 // codec (every protocol in the repository registers one at init).
 func NewGenericServer(agg proto.Aggregator, addr string) (*Server, error) {
-	codec, ok := proto.Lookup(agg.ProtocolID())
-	if !ok {
-		return nil, fmt.Errorf("protocol: aggregator protocol ID %#02x has no registered codec", agg.ProtocolID())
-	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{agg: agg, codec: codec, ln: ln, closed: make(chan struct{})}
+	s, err := ServeListener(agg, ln)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// ServeListener constructs a server around any aggregator on an existing
+// listener, which the server takes ownership of (Close closes it). It is
+// the injection point for custom listeners — tests wrap a faulty one to
+// exercise accept-loop resilience; deployments can hand in a TLS listener.
+func ServeListener(agg proto.Aggregator, ln net.Listener) (*Server, error) {
+	codec, ok := proto.Lookup(agg.ProtocolID())
+	if !ok {
+		return nil, fmt.Errorf("protocol: aggregator protocol ID %#02x has no registered codec", agg.ProtocolID())
+	}
+	s := &Server{
+		agg:    agg,
+		codec:  codec,
+		ln:     ln,
+		closed: make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	frameLen := codec.FrameBytes()
+	s.windows.New = func() any { return newFrameWindow(frameLen) }
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -118,7 +188,26 @@ func (s *Server) Protocol() *core.Protocol { return s.pes }
 // Absorbed returns the number of reports accepted so far.
 func (s *Server) Absorbed() int { return s.agg.TotalReports() }
 
-// Close stops accepting and waits for in-flight connections.
+// Err reports why the server stopped accepting, if it did: nil while the
+// listener is healthy (or was shut down by Close), the fatal Accept error
+// after a permanent listener failure.
+func (s *Server) Err() error {
+	select {
+	case <-s.dead:
+		return s.diedErr
+	default:
+		return nil
+	}
+}
+
+// Done returns a channel closed when the listener dies permanently outside
+// Close — the signal a supervisor watches to restart or fail over instead
+// of discovering a silently deaf server.
+func (s *Server) Done() <-chan struct{} { return s.dead }
+
+// Close stops accepting and waits for in-flight connections. If the
+// listener had already died of a permanent Accept failure, Close reports
+// that failure instead of success.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -127,11 +216,28 @@ func (s *Server) Close() error {
 	}
 	err := s.ln.Close()
 	s.wg.Wait()
+	if dieErr := s.Err(); dieErr != nil {
+		return dieErr
+	}
 	return err
+}
+
+// isTemporary reports whether an Accept error is worth retrying (EMFILE/
+// ENFILE-style resource pressure, aborted handshakes). The Temporary
+// classification is asserted structurally so custom listeners can
+// participate.
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
 }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	const (
+		backoffFloor = 5 * time.Millisecond
+		backoffCap   = time.Second
+	)
+	backoff := time.Duration(0)
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -139,10 +245,34 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				// Listener failure outside Close: stop accepting.
-				return
 			}
+			if isTemporary(err) {
+				// Transient failure (e.g. EMFILE under load): back off and
+				// keep the listener alive instead of silently killing it.
+				backoff *= 2
+				if backoff < backoffFloor {
+					backoff = backoffFloor
+				}
+				if backoff > backoffCap {
+					backoff = backoffCap
+				}
+				timer := time.NewTimer(backoff)
+				select {
+				case <-s.closed:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+				continue
+			}
+			// Permanent listener death outside Close: surface it.
+			s.dieOnce.Do(func() {
+				s.diedErr = err
+				close(s.dead)
+			})
+			return
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -155,6 +285,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle negotiates the protocol ID once per connection, then serves
+// commands. cmdReportBatch is pipelined — after its ACK the connection
+// loops back for the next command byte, so one connection carries any
+// number of mega-batches (and may finish with an identify or snapshot).
+// The remaining commands keep their one-shot semantics and end the
+// connection.
 func (s *Server) handle(conn net.Conn) error {
 	br := bufio.NewReader(conn)
 	// Connection-time negotiation: the client names the protocol it speaks
@@ -170,40 +306,61 @@ func (s *Server) handle(conn net.Conn) error {
 		}
 		return fmt.Errorf("protocol: client protocol ID %#02x unknown (server aggregates %s)", id, s.codec.Name)
 	}
-	cmd, err := br.ReadByte()
-	if err != nil {
-		return err
-	}
-	switch cmd {
-	case cmdReport:
-		if err := s.handleReports(br); err != nil {
+	for {
+		cmd, err := br.ReadByte()
+		if err != nil {
+			// EOF here is a clean end of a pipelined connection (or an empty
+			// one); anything else is a transport failure.
 			return err
 		}
-		// Acknowledge so the sender knows every frame was absorbed before it
-		// returns (SendReports blocks on this byte).
-		_, err := conn.Write([]byte{ackByte})
-		return err
-	case cmdIdentify:
-		return s.handleIdentify(conn)
-	case cmdSnapshot:
-		return s.handleSnapshot(conn)
-	case cmdMergeSnapshot:
-		return s.handleMergeSnapshot(conn, br)
-	default:
-		return fmt.Errorf("protocol: unknown command %d", cmd)
+		switch cmd {
+		case cmdReport:
+			if err := s.handleReports(br); err != nil {
+				return err
+			}
+			// Acknowledge so the sender knows every frame was absorbed before
+			// it returns (SendReports blocks on this byte).
+			_, err := conn.Write([]byte{ackByte})
+			return err
+		case cmdReportBatch:
+			if err := s.handleReportBatch(br); err != nil {
+				return err
+			}
+			if _, err := conn.Write([]byte{ackByte}); err != nil {
+				return err
+			}
+			// Pipelined: loop for the next command on this connection.
+		case cmdIdentify:
+			return s.handleIdentify(conn)
+		case cmdSnapshot:
+			return s.handleSnapshot(conn)
+		case cmdMergeSnapshot:
+			return s.handleMergeSnapshot(conn, br)
+		default:
+			return fmt.Errorf("protocol: unknown command %d", cmd)
+		}
 	}
 }
 
 const ackByte = 0x06
 
+// handleReports serves the legacy cmdReport stream: fixed-size frames until
+// EOF. Frames land in one pooled window buffer (no per-frame allocation);
+// short streams absorb per report, bulk streams per window. On any mid-
+// stream failure every frame up to the first bad one still counts (the
+// valid-prefix contract, identical on the per-report, windowed and tail
+// paths) and the remainder of the stream is drained so a sender still
+// writing never wedges on a full send buffer before it can read the ERR
+// reply.
 func (s *Server) handleReports(r io.Reader) error {
 	frameLen := s.codec.FrameBytes()
-	frames := 0
-	var window []proto.WireReport
+	w := s.windows.Get().(*frameWindow)
+	defer s.windows.Put(w)
+	frames := 0  // total complete frames read
+	pending := 0 // frames buffered in the window, not yet absorbed
 	var streamErr error
 	for streamErr == nil {
-		buf := make([]byte, frameLen)
-		if _, err := io.ReadFull(r, buf); err != nil {
+		if _, err := io.ReadFull(r, w.buf[pending*frameLen:(pending+1)*frameLen]); err != nil {
 			if err == io.ErrUnexpectedEOF {
 				streamErr = fmt.Errorf("protocol: truncated frame: %w", err)
 			} else if !errors.Is(err, io.EOF) {
@@ -211,34 +368,92 @@ func (s *Server) handleReports(r io.Reader) error {
 			}
 			break
 		}
-		wr := proto.WireReport(buf)
 		if frames < shardAfter {
-			// Short-stream path: per-report absorption, no window setup.
+			// Short-stream path: per-report absorption, no window setup. The
+			// frame sits in window slot `pending` (always 0 here).
 			frames++
-			if err := s.agg.Absorb(wr); err != nil {
+			if err := s.agg.Absorb(w.wrs[pending]); err != nil {
 				streamErr = err
 			}
 			continue
 		}
-		window = append(window, wr)
-		if len(window) >= mergeEvery {
-			if err := s.agg.AbsorbBatch(window); err != nil {
-				return err
+		frames++
+		pending++
+		if pending == windowFrames {
+			// A full window folds in one AbsorbBatch; an error follows the
+			// same valid-prefix semantics as the tail flush below (the batch
+			// absorbs every report up to the first invalid one) instead of
+			// abandoning the stream with different accounting.
+			if err := s.agg.AbsorbBatch(w.wrs[:pending]); err != nil {
+				streamErr = err
 			}
-			window = window[:0]
+			pending = 0
 		}
 	}
 	// Absorb the valid prefix even when the stream went bad mid-flight —
 	// every frame that decoded and validated counts, exactly as under the
 	// per-report path.
-	if len(window) > 0 {
-		if err := s.agg.AbsorbBatch(window); err != nil {
-			if streamErr == nil {
-				streamErr = err
-			}
+	if pending > 0 {
+		if err := s.agg.AbsorbBatch(w.wrs[:pending]); err != nil && streamErr == nil {
+			streamErr = err
 		}
 	}
+	if streamErr != nil {
+		// Drain whatever the client is still writing: the stream protocol
+		// has no server->client signal before the reply, so a context-free
+		// sender mid-write would otherwise wedge against a full send buffer
+		// and never reach the ERR line.
+		io.Copy(io.Discard, r) //nolint:errcheck // best-effort drain before the ERR reply
+	}
 	return streamErr
+}
+
+// handleReportBatch serves one cmdReportBatch command: a u32 frame count
+// followed by exactly that many contiguous fixed-size frames. The count
+// makes the body self-delimiting — no EOF handshake — which is what lets
+// one connection pipeline many batches. Frames are absorbed window by
+// window from the pooled buffer: bounded memory per connection, ~0 heap
+// allocations per report. On an absorb failure the declared remainder is
+// drained (its exact length is known) before the error reply, so the
+// sender never wedges and the valid prefix keeps the same accounting as
+// the stream path.
+func (s *Server) handleReportBatch(br *bufio.Reader) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("protocol: reading batch header: %w", err)
+	}
+	count := binary.BigEndian.Uint32(hdr[:])
+	if count == 0 {
+		return nil // an empty batch is a legal no-op (still acknowledged)
+	}
+	if count > maxBatchFrames {
+		return fmt.Errorf("protocol: batch of %d frames exceeds the %d-frame cap", count, maxBatchFrames)
+	}
+	frameLen := s.codec.FrameBytes()
+	w := s.windows.Get().(*frameWindow)
+	defer s.windows.Put(w)
+	remaining := int(count)
+	for remaining > 0 {
+		k := remaining
+		if k > windowFrames {
+			k = windowFrames
+		}
+		if _, err := io.ReadFull(br, w.buf[:k*frameLen]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return fmt.Errorf("protocol: batch truncated with %d of %d frames outstanding", remaining, count)
+			}
+			return err
+		}
+		remaining -= k
+		if err := s.agg.AbsorbBatch(w.wrs[:k]); err != nil {
+			// Valid prefix absorbed (AbsorbBatch's contract); discard the
+			// declared remainder so the sender finishes its write and reads
+			// the ERR reply instead of wedging mid-batch.
+			io.CopyN(io.Discard, br, int64(remaining)*int64(frameLen)) //nolint:errcheck // best-effort drain
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Server) handleIdentify(conn net.Conn) error {

@@ -15,7 +15,18 @@
 // for control commands that work against any server.
 //
 //	cmdReport         stream of fixed-size report frames until EOF; reply
-//	                  is one ACK byte after every frame was absorbed.
+//	                  is one ACK byte after every frame was absorbed. The
+//	                  EOF handshake makes this command terminal: one
+//	                  stream per connection.
+//	cmdReportBatch    u32 frame count, then exactly that many contiguous
+//	                  fixed-size frames; reply is one ACK byte. The count
+//	                  makes the body self-delimiting (no half-close
+//	                  needed), so the command is pipelined: after the ACK
+//	                  the connection accepts further commands, and one
+//	                  connection carries any number of mega-batches. This
+//	                  is the million-device ingest framing — one syscall
+//	                  carries thousands of reports and the dial amortizes
+//	                  across the session (DialIngest/IngestConn).
 //	cmdIdentify       no body; reply is u32 count, then per estimate
 //	                  u16 item length + item + f64 count (IEEE 754 bits, so
 //	                  the TCP path returns bit-identical estimates).

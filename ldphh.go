@@ -272,10 +272,26 @@ func SendReportsContext(ctx context.Context, addr string, reports []Report) erro
 	return protocol.SendReportsContext(ctx, addr, reports)
 }
 
-// SendWireReports streams pre-encoded wire reports of any protocol to a
-// server (all reports must carry one protocol ID).
+// SendWireReports delivers pre-encoded wire reports of any protocol to a
+// server (all reports must carry one protocol ID). Delivery uses the
+// mega-batch wire framing — one length-prefixed command, no per-frame
+// overhead, no EOF handshake — and the absorbed state is bit-identical to
+// the legacy stream framing. For repeated sends, DialIngest amortizes the
+// connection itself.
 func SendWireReports(ctx context.Context, addr string, reports []WireReport) error {
-	return protocol.SendWire(ctx, addr, reports)
+	return protocol.SendWireBatch(ctx, addr, reports)
+}
+
+// IngestConn is a persistent ingest session: one TCP connection carrying
+// any number of mega-batch report commands, so a fleet's worth of reports
+// pays one dial. Not safe for concurrent use; open one per sender.
+type IngestConn = protocol.IngestConn
+
+// DialIngest opens an ingest session to an aggregation server for the
+// given protocol kind. Each SendBatch/SendEncoded call on the session
+// delivers one mega-batch and waits for the server's acknowledgment.
+func DialIngest(ctx context.Context, addr string, kind Kind) (*IngestConn, error) {
+	return protocol.DialIngest(ctx, addr, byte(kind))
 }
 
 // RequestIdentify asks a server to identify and returns the estimates.
