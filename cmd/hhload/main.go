@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,10 +45,19 @@ var (
 	seed      = flag.Uint64("seed", 1, "seed for all randomness")
 	y         = flag.Int("y", 64, "per-coordinate hash range (pes)")
 	outPath   = flag.String("out", "", "write the JSON artifact to this file")
+	scenario  = flag.String("scenario", "",
+		"alternative exercise: \"crash\" runs the kill -9 + restart durability scenario instead of the throughput sweep")
+	killAfter = flag.Int("kill-after", 3,
+		"crash scenario: acknowledged mega-batches before the SIGKILL")
 )
 
 func main() {
+	maybeServeChild() // re-exec dispatch; never returns in the child role
 	flag.Parse()
+	if *scenario != "" {
+		runScenario()
+		return
+	}
 	var results []*loadResult
 	for _, proto := range strings.Split(*protocols, ",") {
 		for _, wire := range strings.Split(*wires, ",") {
@@ -87,6 +97,47 @@ func main() {
 			err = f.Close()
 		} else {
 			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hhload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runScenario dispatches the non-sweep exercises. The crash scenario runs
+// over the first listed protocol on the batch wire.
+func runScenario() {
+	if *scenario != "crash" {
+		fmt.Fprintf(os.Stderr, "hhload: unknown scenario %q (crash)\n", *scenario)
+		os.Exit(1)
+	}
+	cfg := loadConfig{
+		Protocol:  strings.TrimSpace(strings.Split(*protocols, ",")[0]),
+		Wire:      "batch",
+		Devices:   *devices,
+		Conns:     1,
+		Batch:     *batch,
+		Eps:       *eps,
+		ItemBytes: *itemBytes,
+		ZipfS:     *zipfS,
+		Support:   *support,
+		Seed:      *seed,
+		Y:         *y,
+	}
+	res, err := runCrashScenario(cfg, *killAfter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhload: crash scenario: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("crash scenario (%s): %d devices, killed after %d acked batches of %d, "+
+		"recovered %d reports from disk, replayed %d batches, identify bit-identical over %d estimates\n",
+		res.Protocol, res.Devices, res.BatchesAcked, res.Batch,
+		res.RecoveredReports, res.BatchesReplayed, res.EstimatesCompared)
+	if *outPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*outPath, append(blob, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hhload: %v\n", err)

@@ -65,7 +65,31 @@ var (
 	leaves    = flag.Int("leaves", 4, "leaf aggregator count in -tree mode")
 	protoName = flag.String("protocol", "pes",
 		"registered protocol to deploy (pes | smalldomain | bitstogram | treehist | bassilysmith | ...)")
+	ckptDir = flag.String("checkpoint-dir", "",
+		"durable checkpoint directory for the aggregation server (tree mode: the root); restart with the same flags to recover")
+	ckptEvery = flag.Int("checkpoint-every", 0,
+		"checkpoint synchronously before acking once this many reports accumulated (0 = periodic only)")
+	metricsAddr = flag.String("metrics-addr", "",
+		"HTTP operability sidecar address serving /healthz and /metrics (empty = off)")
 )
+
+// serverOpts assembles the durability/observability options for the
+// primary aggregation server (the only server in flat mode, the root in
+// -tree mode — leaves are ephemeral shards whose state reaches the root
+// via snapshot merge).
+func serverOpts() []protocol.ServerOption {
+	var opts []protocol.ServerOption
+	if *ckptDir != "" {
+		opts = append(opts, protocol.WithCheckpointDir(*ckptDir))
+	}
+	if *ckptEvery > 0 {
+		opts = append(opts, protocol.WithCheckpointEvery(*ckptEvery))
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, protocol.WithMetricsAddr(*metricsAddr))
+	}
+	return opts
+}
 
 func main() {
 	flag.Parse()
@@ -81,10 +105,16 @@ func main() {
 		runTree(params)
 		return
 	}
-	srv, err := protocol.NewServer(params, *addr)
+	srv, err := protocol.NewServer(params, *addr, serverOpts()...)
 	fatal(err)
 	defer srv.Close()
 	fmt.Printf("aggregation server listening on %s\n", srv.Addr())
+	if recovered := srv.Metrics().RecoveredReports(); recovered > 0 {
+		fmt.Printf("recovered %d reports from checkpoint directory %s\n", recovered, *ckptDir)
+	}
+	if *metricsAddr != "" {
+		fmt.Printf("metrics sidecar on http://%s/metrics\n", srv.MetricsAddr())
+	}
 
 	ds := dataset(params)
 	batches := buildBatches(params, ds)
@@ -100,7 +130,9 @@ func main() {
 	fatal(err)
 	printEstimates(est, ds)
 
-	if *shards > 0 {
+	if *shards > 0 && srv.Metrics().RecoveredReports() == 0 {
+		// The replay only covers this run's batches, so it can only match a
+		// server that did not also restore a previous run's checkpoint.
 		localComparison(params, batches, est)
 	}
 }
@@ -114,7 +146,7 @@ func runTree(params core.Params) {
 	if *leaves < 1 {
 		fatal(fmt.Errorf("-leaves must be >= 1, got %d", *leaves))
 	}
-	root, err := protocol.NewServer(params, *addr)
+	root, err := protocol.NewServer(params, *addr, serverOpts()...)
 	fatal(err)
 	defer root.Close()
 	leafSrvs := make([]*protocol.Server, *leaves)
@@ -210,10 +242,16 @@ func runGeneric(name string) {
 		return h
 	}
 	device, agg := mk(), mk()
-	srv, err := ldphh.NewAggregationServer(agg, *addr)
+	srv, err := ldphh.NewAggregationServer(agg, *addr, serverOpts()...)
 	fatal(err)
 	defer srv.Close()
 	fmt.Printf("generic aggregation server (%s) listening on %s\n", kind, srv.Addr())
+	if recovered := srv.Metrics().RecoveredReports(); recovered > 0 {
+		fmt.Printf("recovered %d reports from checkpoint directory %s\n", recovered, *ckptDir)
+	}
+	if *metricsAddr != "" {
+		fmt.Printf("metrics sidecar on http://%s/metrics\n", srv.MetricsAddr())
+	}
 
 	// Device phase: each fleet derives its batch concurrently (Report never
 	// mutates shared state; randomness is per-goroutine).
@@ -266,6 +304,11 @@ func runGeneric(name string) {
 	}
 
 	// Verification: replay every report into a fresh instance in process.
+	// Skipped after a checkpoint recovery — the server then holds a previous
+	// run's reports on top of this one's, which the replay cannot see.
+	if srv.Metrics().RecoveredReports() > 0 {
+		return
+	}
 	replay := mk()
 	for _, batch := range batches {
 		fatal(replay.AbsorbBatch(batch))

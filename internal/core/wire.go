@@ -202,6 +202,10 @@ func (w *PESWire) MinRecoverableFrequency() float64 {
 	return w.pr.Params().MinRecoverableFrequency()
 }
 
+// Fingerprint states the parameter digest snapshots and checkpoints are
+// pinned to (proto.Fingerprinted).
+func (w *PESWire) Fingerprint() uint64 { return w.pr.Fingerprint() }
+
 // Snapshot serializes the accumulated state (proto.Mergeable).
 func (w *PESWire) Snapshot() ([]byte, error) { return w.pr.Snapshot() }
 

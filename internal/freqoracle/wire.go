@@ -269,6 +269,11 @@ func (w *HashtogramWire) BytesPerReport() int { return HashtogramReportPayloadBy
 // β = 0.05 — the smallest count reliably distinguishable from zero.
 func (w *HashtogramWire) MinRecoverableFrequency() float64 { return w.h.ErrorBound(0.05) }
 
+// Fingerprint states the parameter digest snapshots and checkpoints are
+// pinned to (proto.Fingerprinted). Candidates and minCount are excluded on
+// purpose: they shape Identify's query set, never the accumulated state.
+func (w *HashtogramWire) Fingerprint() uint64 { return w.h.Fingerprint() }
+
 // Snapshot serializes the oracle's accumulated state (proto.Mergeable).
 func (w *HashtogramWire) Snapshot() ([]byte, error) {
 	w.mu.Lock()
@@ -448,6 +453,16 @@ func (w *DirectHistogramWire) MinRecoverableFrequency() float64 {
 		n = 1
 	}
 	return w.d.ErrorBound(n, 0.05)
+}
+
+// Fingerprint states the parameter digest snapshots and checkpoints are
+// pinned to (proto.Fingerprinted). The wire identity (codec ID) and item
+// width are mixed in so a checkpoint written under the smalldomain identity
+// never restores into a directhistogram server, even though the underlying
+// LDSK state would be byte-compatible.
+func (w *DirectHistogramWire) Fingerprint() uint64 {
+	return fingerprint("ldphh/freqoracle.DirectHistogramWire/v1",
+		uint64(w.id), uint64(w.itemBytes), w.d.Fingerprint())
 }
 
 // Snapshot serializes the oracle's accumulated state (proto.Mergeable).

@@ -177,3 +177,21 @@ func AsMergeable(a Aggregator) (Mergeable, bool) {
 type Calibrated interface {
 	MinRecoverableFrequency() float64
 }
+
+// Fingerprinted is the optional aggregator capability of stating a 64-bit
+// digest of every parameter that shapes its accumulated state and public
+// randomness. Two aggregators with equal fingerprints absorb
+// interchangeable reports and produce mutually loadable snapshots. The
+// durable-checkpoint layer stamps the fingerprint into every checkpoint
+// file header so a restart under different parameters is rejected at the
+// file level, before any snapshot bytes are parsed.
+type Fingerprinted interface {
+	Fingerprint() uint64
+}
+
+// AsFingerprinted reports whether the aggregator can state a parameter
+// fingerprint, returning the capability view when it does.
+func AsFingerprinted(a Aggregator) (Fingerprinted, bool) {
+	f, ok := a.(Fingerprinted)
+	return f, ok
+}

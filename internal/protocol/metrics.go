@@ -1,0 +1,227 @@
+package protocol
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the server's operability surface: a set of atomic counters
+// threaded through the ingest, identify, snapshot and checkpoint paths.
+// Every update on a hot path is a single atomic add — no locks, no
+// allocation — and the batch paths count once per window, not per report,
+// so metering is invisible next to the absorption work itself. Rendering
+// (Prometheus text, /healthz JSON) happens only when a scraper asks.
+type Metrics struct {
+	protocol  string
+	startNano int64
+
+	connsAccepted atomic.Int64
+	connsActive   atomic.Int64
+
+	reportsAbsorbed atomic.Int64 // reports accepted into the aggregator via this server
+	batchesAbsorbed atomic.Int64 // mega-batch commands completed
+	absorbErrors    atomic.Int64 // absorb/decode failures (stream, batch and merge paths)
+	windowDepth     atomic.Int64 // ingest windows currently folding into the aggregator
+
+	identifies        atomic.Int64
+	identifyErrors    atomic.Int64
+	identifyNanos     atomic.Int64 // cumulative wall time inside Identify
+	lastIdentifyNanos atomic.Int64
+
+	snapshotsServed atomic.Int64
+	mergesAbsorbed  atomic.Int64
+
+	checkpoints         atomic.Int64 // successful checkpoint saves this run
+	checkpointErrors    atomic.Int64
+	checkpointSeq       atomic.Uint64
+	checkpointUnixNano  atomic.Int64 // wall clock of the last successful save (or the recovered file)
+	checkpointBytes     atomic.Int64
+	reportsAtCheckpoint atomic.Int64 // reportsAbsorbed sampled just before the last snapshot
+	recoveredReports    atomic.Int64 // reports rehydrated from disk at startup
+
+	draining    atomic.Bool
+	lastCkptErr atomic.Value // string; "" when the last checkpoint attempt succeeded
+}
+
+func newMetrics(protocol string) *Metrics {
+	m := &Metrics{protocol: protocol, startNano: time.Now().UnixNano()}
+	m.lastCkptErr.Store("")
+	return m
+}
+
+// ReportsAbsorbed returns the number of reports this server has accepted
+// over its wire (frames plus merged snapshot contents) since it started —
+// recovered checkpoint contents are counted separately by RecoveredReports.
+func (m *Metrics) ReportsAbsorbed() int64 { return m.reportsAbsorbed.Load() }
+
+// RecoveredReports returns the number of reports rehydrated from the
+// on-disk checkpoint at startup (0 on a fresh start).
+func (m *Metrics) RecoveredReports() int64 { return m.recoveredReports.Load() }
+
+// CheckpointLag returns how many absorbed reports are not yet covered by a
+// durable checkpoint.
+func (m *Metrics) CheckpointLag() int64 {
+	return m.reportsAbsorbed.Load() - m.reportsAtCheckpoint.Load()
+}
+
+// CheckpointAge returns the time since the last durable checkpoint, or -1
+// when none has been taken (and none was recovered).
+func (m *Metrics) CheckpointAge() time.Duration {
+	at := m.checkpointUnixNano.Load()
+	if at == 0 {
+		return -1
+	}
+	return time.Duration(time.Now().UnixNano() - at)
+}
+
+// noteCheckpoint records one successful checkpoint save (or the recovered
+// checkpoint at startup). absorbedBefore is the reportsAbsorbed sample
+// taken just before the snapshot, so the lag metric never undercounts.
+func (m *Metrics) noteCheckpoint(seq uint64, unixNano int64, bytes int, absorbedBefore int64) {
+	m.checkpointSeq.Store(seq)
+	m.checkpointUnixNano.Store(unixNano)
+	m.checkpointBytes.Store(int64(bytes))
+	m.reportsAtCheckpoint.Store(absorbedBefore)
+	m.lastCkptErr.Store("")
+}
+
+func (m *Metrics) noteCheckpointError(err error) {
+	m.checkpointErrors.Add(1)
+	m.lastCkptErr.Store(err.Error())
+}
+
+// uptime returns seconds since the server started.
+func (m *Metrics) uptime() float64 {
+	return float64(time.Now().UnixNano()-m.startNano) / 1e9
+}
+
+// writeProm renders the Prometheus text exposition format. resident is the
+// aggregator's authoritative TotalReports at scrape time (it includes
+// recovered and merged state); listenerErr reports permanent listener death.
+func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error) {
+	p := m.protocol
+	up := 1
+	if listenerErr != nil {
+		up = 0
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{protocol=%q} %d\n", name, help, name, name, p, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{protocol=%q} %g\n", name, help, name, name, p, v)
+	}
+	gauge("ldphh_up", "1 while the listener accepts connections, 0 after permanent death.", float64(up))
+	gauge("ldphh_uptime_seconds", "Seconds since the server started.", m.uptime())
+	gauge("ldphh_draining", "1 while a graceful shutdown drains in-flight connections.", b2f(m.draining.Load()))
+
+	counter("ldphh_connections_accepted_total", "Connections accepted by the listener.", m.connsAccepted.Load())
+	gauge("ldphh_connections_active", "Connections currently being served.", float64(m.connsActive.Load()))
+
+	counter("ldphh_reports_absorbed_total", "Reports accepted into the aggregator over the wire (frames plus merged snapshots).", m.reportsAbsorbed.Load())
+	gauge("ldphh_reports_resident", "Reports resident in the aggregator, including recovered and merged state.", float64(resident))
+	gauge("ldphh_reports_per_second", "Mean wire absorption rate over the server lifetime (use rate() on the _total for windows).",
+		float64(m.reportsAbsorbed.Load())/maxf(m.uptime(), 1e-9))
+	counter("ldphh_batches_absorbed_total", "Mega-batch commands absorbed.", m.batchesAbsorbed.Load())
+	counter("ldphh_absorb_errors_total", "Report streams, batches or snapshot merges rejected mid-absorption.", m.absorbErrors.Load())
+	gauge("ldphh_ingest_window_depth", "Ingest windows currently folding into the aggregator.", float64(m.windowDepth.Load()))
+
+	counter("ldphh_identify_total", "Identify commands served.", m.identifies.Load())
+	counter("ldphh_identify_errors_total", "Identify commands that failed (including client-disconnect cancellations).", m.identifyErrors.Load())
+	gauge("ldphh_identify_seconds_total", "Cumulative wall time spent in Identify.", float64(m.identifyNanos.Load())/1e9)
+	gauge("ldphh_identify_last_seconds", "Wall time of the most recent Identify.", float64(m.lastIdentifyNanos.Load())/1e9)
+
+	counter("ldphh_snapshots_served_total", "Snapshot commands served to parent aggregators.", m.snapshotsServed.Load())
+	counter("ldphh_snapshot_merges_total", "Child snapshots merged into this aggregator.", m.mergesAbsorbed.Load())
+
+	counter("ldphh_checkpoints_total", "Durable checkpoints written this run.", m.checkpoints.Load())
+	counter("ldphh_checkpoint_errors_total", "Checkpoint attempts that failed.", m.checkpointErrors.Load())
+	gauge("ldphh_checkpoint_seq", "Sequence number of the newest durable checkpoint.", float64(m.checkpointSeq.Load()))
+	if age := m.CheckpointAge(); age >= 0 {
+		gauge("ldphh_checkpoint_age_seconds", "Seconds since the newest durable checkpoint.", age.Seconds())
+	}
+	gauge("ldphh_checkpoint_lag_reports", "Absorbed reports not yet covered by a durable checkpoint.", float64(m.CheckpointLag()))
+	gauge("ldphh_checkpoint_bytes", "Payload size of the newest durable checkpoint.", float64(m.checkpointBytes.Load()))
+	gauge("ldphh_recovered_reports", "Reports rehydrated from the on-disk checkpoint at startup.", float64(m.recoveredReports.Load()))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// metricsServer is the HTTP operability sidecar: /healthz for liveness
+// probes and load balancers, /metrics for Prometheus scrapes. It listens on
+// its own address so the report wire and the control plane never share a
+// port, and it shuts down with the server.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func startMetricsServer(addr string, s *Server) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	ms := &metricsServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go ms.srv.Serve(ln) //nolint:errcheck // exits on Close
+	return ms, nil
+}
+
+func (ms *metricsServer) close() {
+	if ms == nil {
+		return
+	}
+	ms.srv.Close() //nolint:errcheck // teardown
+}
+
+// handleHealthz answers liveness/readiness probes: 200 with a JSON summary
+// while the server accepts traffic, 503 while draining or after the
+// listener died — so a load balancer stops routing to a server that can no
+// longer absorb reports, and an operator's curl shows why.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m := s.metrics
+	status, code := "ok", http.StatusOK
+	var listenerErr string
+	if m.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	if err := s.Err(); err != nil {
+		status, code = "listener-dead", http.StatusServiceUnavailable
+		listenerErr = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	age := -1.0
+	if a := m.CheckpointAge(); a >= 0 {
+		age = a.Seconds()
+	}
+	fmt.Fprintf(w, `{"status":%q,"protocol":%q,"uptime_seconds":%.3f,"absorbed":%d,"resident":%d,"checkpoint_seq":%d,"checkpoint_age_seconds":%.3f,"checkpoint_lag_reports":%d,"last_checkpoint_error":%q,"listener_error":%q}`+"\n",
+		status, m.protocol, m.uptime(), m.reportsAbsorbed.Load(), s.agg.TotalReports(),
+		m.checkpointSeq.Load(), age, m.CheckpointLag(),
+		m.lastCkptErr.Load().(string), listenerErr)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	s.metrics.writeProm(bw, s.agg.TotalReports(), s.Err())
+	bw.Flush() //nolint:errcheck // client gone
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"ldphh/internal/checkpoint"
 	"ldphh/internal/core"
 	"ldphh/internal/proto"
 )
@@ -75,6 +76,77 @@ type Server struct {
 	dieOnce sync.Once
 	dead    chan struct{}
 	diedErr error
+
+	// Close/Shutdown may race from any number of goroutines; the Once is
+	// what makes the closed-channel close and the listener teardown happen
+	// exactly once (a bare select on s.closed lets two goroutines both take
+	// the default branch and double-close the channel — a panic).
+	closeOnce sync.Once
+	closeErr  error
+
+	// Durability and observability (nil/zero when not configured).
+	cfg     serverConfig
+	metrics *Metrics
+	merge   proto.Mergeable     // snapshot capability, nil if unsupported
+	ckpt    *checkpoint.Manager // nil when checkpointing is off
+	ckptMu  sync.Mutex          // serializes snapshot+save so triggers never interleave
+	msrv    *metricsServer      // nil when no metrics address is configured
+}
+
+// serverConfig carries the lifecycle options.
+type serverConfig struct {
+	metricsAddr  string
+	ckptDir      string
+	ckptInterval time.Duration
+	ckptEvery    int
+	ckptRetain   int
+}
+
+// ServerOption configures durability and observability on any of the
+// server constructors.
+type ServerOption func(*serverConfig)
+
+// WithCheckpointDir enables durable checkpoints in dir: the newest valid
+// checkpoint is restored into the aggregator before the listener accepts
+// its first connection (torn or truncated files fall back to the previous
+// valid one; a parameter-fingerprint mismatch fails startup), periodic and
+// ack-coupled checkpoints persist the state while the round runs, and a
+// graceful Shutdown writes a final checkpoint. The aggregator must support
+// snapshots (proto.Mergeable).
+func WithCheckpointDir(dir string) ServerOption {
+	return func(c *serverConfig) { c.ckptDir = dir }
+}
+
+// WithCheckpointInterval sets the periodic checkpoint cadence (default
+// 30s; <= 0 disables the timer, leaving only ack-coupled and shutdown
+// checkpoints).
+func WithCheckpointInterval(d time.Duration) ServerOption {
+	return func(c *serverConfig) { c.ckptInterval = d }
+}
+
+// WithCheckpointEvery couples durability to the ingest acknowledgment:
+// whenever at least n reports have been absorbed since the last
+// checkpoint, the server checkpoints synchronously before acknowledging
+// the report command that crossed the threshold — so an acknowledged batch
+// is on disk before the sender retires it, and a kill -9 can only lose the
+// unacknowledged window. Set n to the mega-batch size for exactly-once
+// recovery semantics with client-side replay of unacknowledged batches.
+func WithCheckpointEvery(n int) ServerOption {
+	return func(c *serverConfig) { c.ckptEvery = n }
+}
+
+// WithCheckpointRetain keeps the newest n checkpoint files on disk
+// (default 3, minimum 2 so torn-file recovery always has a fallback).
+func WithCheckpointRetain(n int) ServerOption {
+	return func(c *serverConfig) { c.ckptRetain = n }
+}
+
+// WithMetricsAddr starts the HTTP operability sidecar on addr (use
+// "127.0.0.1:0" to let the kernel pick): /healthz for probes and load
+// balancers, /metrics for Prometheus scrapes. MetricsAddr reports the
+// bound address.
+func WithMetricsAddr(addr string) ServerOption {
+	return func(c *serverConfig) { c.metricsAddr = addr }
 }
 
 const (
@@ -122,12 +194,12 @@ func newFrameWindow(frameLen int) *frameWindow {
 // "127.0.0.1:0" for tests). params.Workers sizes the Identify worker pool;
 // the identification reply is bit-identical at any worker count, so
 // operators can tune it per deployment without coordinating clients.
-func NewServer(params core.Params, addr string) (*Server, error) {
+func NewServer(params core.Params, addr string, opts ...ServerOption) (*Server, error) {
 	pr, err := core.New(params)
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewGenericServer(pr.Wire(), addr)
+	s, err := NewGenericServer(pr.Wire(), addr, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -138,12 +210,12 @@ func NewServer(params core.Params, addr string) (*Server, error) {
 // NewGenericServer constructs a server around any aggregator and starts
 // listening on addr. The aggregator's protocol must have a registered wire
 // codec (every protocol in the repository registers one at init).
-func NewGenericServer(agg proto.Aggregator, addr string) (*Server, error) {
+func NewGenericServer(agg proto.Aggregator, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s, err := ServeListener(agg, ln)
+	s, err := ServeListener(agg, ln, opts...)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -155,23 +227,158 @@ func NewGenericServer(agg proto.Aggregator, addr string) (*Server, error) {
 // listener, which the server takes ownership of (Close closes it). It is
 // the injection point for custom listeners — tests wrap a faulty one to
 // exercise accept-loop resilience; deployments can hand in a TLS listener.
-func ServeListener(agg proto.Aggregator, ln net.Listener) (*Server, error) {
+//
+// When a checkpoint directory is configured, recovery runs here, before
+// the accept loop starts: the newest valid on-disk checkpoint is restored
+// into the aggregator (torn or truncated files fall back to the previous
+// valid one), and a checkpoint whose parameter fingerprint does not match
+// the aggregator fails construction — restarting under different
+// parameters must be loud, not a silent fresh start over a stale round.
+func ServeListener(agg proto.Aggregator, ln net.Listener, opts ...ServerOption) (*Server, error) {
 	codec, ok := proto.Lookup(agg.ProtocolID())
 	if !ok {
 		return nil, fmt.Errorf("protocol: aggregator protocol ID %#02x has no registered codec", agg.ProtocolID())
 	}
+	var cfg serverConfig
+	cfg.ckptInterval = 30 * time.Second
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	s := &Server{
-		agg:    agg,
-		codec:  codec,
-		ln:     ln,
-		closed: make(chan struct{}),
-		dead:   make(chan struct{}),
+		agg:     agg,
+		codec:   codec,
+		ln:      ln,
+		closed:  make(chan struct{}),
+		dead:    make(chan struct{}),
+		cfg:     cfg,
+		metrics: newMetrics(codec.Name),
 	}
 	frameLen := codec.FrameBytes()
 	s.windows.New = func() any { return newFrameWindow(frameLen) }
+	if cfg.ckptDir != "" {
+		if err := s.openCheckpoints(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.metricsAddr != "" {
+		msrv, err := startMetricsServer(cfg.metricsAddr, s)
+		if err != nil {
+			return nil, err
+		}
+		s.msrv = msrv
+	}
+	if s.ckpt != nil && cfg.ckptInterval > 0 {
+		s.wg.Add(1)
+		go s.checkpointLoop(cfg.ckptInterval)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// openCheckpoints wires the durable-checkpoint manager up and runs the
+// startup recovery path.
+func (s *Server) openCheckpoints() error {
+	m, ok := proto.AsMergeable(s.agg)
+	if !ok {
+		return fmt.Errorf("protocol: %s does not support snapshots; checkpoints need a Mergeable aggregator", s.codec.Name)
+	}
+	copts := make([]checkpoint.Option, 0, 2)
+	if s.cfg.ckptRetain > 0 {
+		copts = append(copts, checkpoint.WithRetain(s.cfg.ckptRetain))
+	}
+	if f, ok := proto.AsFingerprinted(s.agg); ok {
+		copts = append(copts, checkpoint.WithFingerprint(f.Fingerprint()))
+	}
+	mgr, err := checkpoint.Open(s.cfg.ckptDir, copts...)
+	if err != nil {
+		return err
+	}
+	payload, info, err := mgr.LoadNewest()
+	switch {
+	case err == nil:
+		if err := m.Restore(payload); err != nil {
+			return fmt.Errorf("protocol: restoring checkpoint %s: %w", info.Path, err)
+		}
+		s.metrics.recoveredReports.Store(int64(s.agg.TotalReports()))
+		s.metrics.noteCheckpoint(info.Seq, info.Time.UnixNano(), info.Bytes, 0)
+	case errors.Is(err, checkpoint.ErrNoCheckpoint):
+		// Fresh start: nothing on disk (or nothing intact), begin at seq 1.
+	default:
+		// Fingerprint mismatch or an unreadable directory: refuse to serve.
+		return err
+	}
+	s.ckpt, s.merge = mgr, m
+	return nil
+}
+
+// checkpointLoop persists the aggregator state on a timer. Failures are
+// recorded in the metrics (checkpoint_errors_total, /healthz
+// last_checkpoint_error) and retried on the next tick — a transient disk
+// error must not kill the ingest plane.
+func (s *Server) checkpointLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			if s.metrics.CheckpointLag() > 0 {
+				s.takeCheckpoint() //nolint:errcheck // recorded in metrics, retried next tick
+			}
+		}
+	}
+}
+
+// takeCheckpoint snapshots the aggregator and durably persists it as the
+// next checkpoint. The absorbed-report counter is sampled before the
+// snapshot, so the recorded lag can only overcount, never undercount,
+// what the file covers.
+func (s *Server) takeCheckpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.takeCheckpointLocked()
+}
+
+func (s *Server) takeCheckpointLocked() error {
+	absorbed := s.metrics.reportsAbsorbed.Load()
+	snap, err := s.merge.Snapshot()
+	if err != nil {
+		s.metrics.noteCheckpointError(err)
+		return err
+	}
+	info, err := s.ckpt.Save(snap)
+	if err != nil {
+		s.metrics.noteCheckpointError(err)
+		return err
+	}
+	s.metrics.checkpoints.Add(1)
+	s.metrics.noteCheckpoint(info.Seq, info.Time.UnixNano(), len(snap), absorbed)
+	return nil
+}
+
+// maybeCheckpointSync implements the ack-coupled durability policy
+// (WithCheckpointEvery): called after a report command absorbs and before
+// its acknowledgment goes out. When the threshold is crossed the
+// checkpoint happens here, synchronously — an error fails the command, so
+// the client never receives an ack for state that is not on disk. The lag
+// is rechecked under the checkpoint lock because a concurrent connection
+// may have just covered this one's reports.
+func (s *Server) maybeCheckpointSync() error {
+	if s.ckpt == nil || s.cfg.ckptEvery <= 0 {
+		return nil
+	}
+	if s.metrics.CheckpointLag() < int64(s.cfg.ckptEvery) {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.metrics.CheckpointLag() < int64(s.cfg.ckptEvery) {
+		return nil
+	}
+	return s.takeCheckpointLocked()
 }
 
 // Addr returns the listening address.
@@ -205,21 +412,84 @@ func (s *Server) Err() error {
 // of discovering a silently deaf server.
 func (s *Server) Done() <-chan struct{} { return s.dead }
 
-// Close stops accepting and waits for in-flight connections. If the
-// listener had already died of a permanent Accept failure, Close reports
-// that failure instead of success.
-func (s *Server) Close() error {
-	select {
-	case <-s.closed:
-	default:
-		close(s.closed)
+// Metrics exposes the server's operability counters (always non-nil).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// MetricsAddr returns the bound address of the HTTP operability sidecar,
+// or "" when none was configured.
+func (s *Server) MetricsAddr() string {
+	if s.msrv == nil {
+		return ""
 	}
-	err := s.ln.Close()
-	s.wg.Wait()
+	return s.msrv.ln.Addr().String()
+}
+
+// Close stops accepting and waits for in-flight connections, then writes
+// a final checkpoint when durability is configured. If the listener had
+// already died of a permanent Accept failure, Close reports that failure
+// instead of success. Close is safe to call concurrently and repeatedly:
+// every call returns the same error after the same fully-drained state.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// Shutdown drains the server gracefully: stop accepting, wait (bounded by
+// ctx) for in-flight connections and windows to finish folding into the
+// aggregator, persist a final checkpoint, and tear the metrics sidecar
+// down. A ctx expiry abandons the wait but still reports it — connections
+// past the listener close still run to completion in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.metrics.draining.Store(true)
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.ln.Close()
+	})
+	waitErr := s.waitCtx(ctx)
+	var ckptErr error
+	if waitErr == nil {
+		ckptErr = s.finalCheckpoint()
+	}
+	s.msrv.close()
 	if dieErr := s.Err(); dieErr != nil {
 		return dieErr
 	}
-	return err
+	if waitErr != nil {
+		return waitErr
+	}
+	if ckptErr != nil {
+		return ckptErr
+	}
+	return s.closeErr
+}
+
+// waitCtx waits for the connection/loop waitgroup, bounded by ctx.
+func (s *Server) waitCtx(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("protocol: shutdown abandoned with connections in flight: %w", ctx.Err())
+	}
+}
+
+// finalCheckpoint persists the shutdown checkpoint: everything absorbed is
+// on disk before the process exits, so a restart resumes the round with
+// zero loss. Skipped when checkpointing is off, when nothing changed since
+// the last checkpoint, or when the round was already retired by Identify
+// (aggregators reject Snapshot after finalization, and a finished round
+// has nothing left to recover into).
+func (s *Server) finalCheckpoint() error {
+	if s.ckpt == nil || s.metrics.identifies.Load() > s.metrics.identifyErrors.Load() {
+		return nil
+	}
+	if s.metrics.CheckpointLag() == 0 &&
+		(s.metrics.checkpointSeq.Load() > 0 || s.metrics.reportsAbsorbed.Load() == 0) {
+		return nil
+	}
+	return s.takeCheckpoint()
 }
 
 // isTemporary reports whether an Accept error is worth retrying (EMFILE/
@@ -273,12 +543,20 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		backoff = 0
+		s.metrics.connsAccepted.Add(1)
+		s.metrics.connsActive.Add(1)
 		s.wg.Add(1)
 		go func() {
+			defer s.metrics.connsActive.Add(-1)
 			defer s.wg.Done()
 			defer conn.Close()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
 				// Best effort error reply; the connection is about to close.
+				// The write deadline keeps a peer that stopped reading (or a
+				// dead network path) from pinning this handler — and with it
+				// Close/Shutdown, which wait on the handler waitgroup — for
+				// the TCP timeout's minutes.
+				conn.SetWriteDeadline(time.Now().Add(errReplyTimeout)) //nolint:errcheck // best-effort reply
 				fmt.Fprintf(conn, "ERR %v\n", err)
 			}
 		}()
@@ -318,12 +596,22 @@ func (s *Server) handle(conn net.Conn) error {
 			if err := s.handleReports(br); err != nil {
 				return err
 			}
+			// Ack-coupled durability: when WithCheckpointEvery is armed and
+			// this command crossed the threshold, the state is on disk before
+			// the acknowledgment below — a failure here is an ERR, not an ack,
+			// so the sender retries instead of retiring undurable data.
+			if err := s.maybeCheckpointSync(); err != nil {
+				return err
+			}
 			// Acknowledge so the sender knows every frame was absorbed before
 			// it returns (SendReports blocks on this byte).
 			_, err := conn.Write([]byte{ackByte})
 			return err
 		case cmdReportBatch:
 			if err := s.handleReportBatch(br); err != nil {
+				return err
+			}
+			if err := s.maybeCheckpointSync(); err != nil {
 				return err
 			}
 			if _, err := conn.Write([]byte{ackByte}); err != nil {
@@ -344,6 +632,10 @@ func (s *Server) handle(conn net.Conn) error {
 
 const ackByte = 0x06
 
+// errReplyTimeout bounds the best-effort ERR reply write on a failing
+// connection. A variable so tests can shrink it.
+var errReplyTimeout = 2 * time.Second
+
 // handleReports serves the legacy cmdReport stream: fixed-size frames until
 // EOF. Frames land in one pooled window buffer (no per-frame allocation);
 // short streams absorb per report, bulk streams per window. On any mid-
@@ -356,8 +648,9 @@ func (s *Server) handleReports(r io.Reader) error {
 	frameLen := s.codec.FrameBytes()
 	w := s.windows.Get().(*frameWindow)
 	defer s.windows.Put(w)
-	frames := 0  // total complete frames read
-	pending := 0 // frames buffered in the window, not yet absorbed
+	frames := 0   // total complete frames read
+	pending := 0  // frames buffered in the window, not yet absorbed
+	accepted := 0 // reports known absorbed (error paths undercount the valid prefix)
 	var streamErr error
 	for streamErr == nil {
 		if _, err := io.ReadFull(r, w.buf[pending*frameLen:(pending+1)*frameLen]); err != nil {
@@ -374,6 +667,8 @@ func (s *Server) handleReports(r io.Reader) error {
 			frames++
 			if err := s.agg.Absorb(w.wrs[pending]); err != nil {
 				streamErr = err
+			} else {
+				accepted++
 			}
 			continue
 		}
@@ -384,9 +679,13 @@ func (s *Server) handleReports(r io.Reader) error {
 			// same valid-prefix semantics as the tail flush below (the batch
 			// absorbs every report up to the first invalid one) instead of
 			// abandoning the stream with different accounting.
+			s.metrics.windowDepth.Add(1)
 			if err := s.agg.AbsorbBatch(w.wrs[:pending]); err != nil {
 				streamErr = err
+			} else {
+				accepted += pending
 			}
+			s.metrics.windowDepth.Add(-1)
 			pending = 0
 		}
 	}
@@ -394,11 +693,19 @@ func (s *Server) handleReports(r io.Reader) error {
 	// every frame that decoded and validated counts, exactly as under the
 	// per-report path.
 	if pending > 0 {
-		if err := s.agg.AbsorbBatch(w.wrs[:pending]); err != nil && streamErr == nil {
-			streamErr = err
+		s.metrics.windowDepth.Add(1)
+		if err := s.agg.AbsorbBatch(w.wrs[:pending]); err != nil {
+			if streamErr == nil {
+				streamErr = err
+			}
+		} else {
+			accepted += pending
 		}
+		s.metrics.windowDepth.Add(-1)
 	}
+	s.metrics.reportsAbsorbed.Add(int64(accepted))
 	if streamErr != nil {
+		s.metrics.absorbErrors.Add(1)
 		// Drain whatever the client is still writing: the stream protocol
 		// has no server->client signal before the reply, so a context-free
 		// sender mid-write would otherwise wedge against a full send buffer
@@ -439,28 +746,63 @@ func (s *Server) handleReportBatch(br *bufio.Reader) error {
 			k = windowFrames
 		}
 		if _, err := io.ReadFull(br, w.buf[:k*frameLen]); err != nil {
+			s.metrics.absorbErrors.Add(1)
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				return fmt.Errorf("protocol: batch truncated with %d of %d frames outstanding", remaining, count)
 			}
 			return err
 		}
 		remaining -= k
-		if err := s.agg.AbsorbBatch(w.wrs[:k]); err != nil {
+		s.metrics.windowDepth.Add(1)
+		err := s.agg.AbsorbBatch(w.wrs[:k])
+		s.metrics.windowDepth.Add(-1)
+		if err != nil {
 			// Valid prefix absorbed (AbsorbBatch's contract); discard the
 			// declared remainder so the sender finishes its write and reads
 			// the ERR reply instead of wedging mid-batch.
+			s.metrics.absorbErrors.Add(1)
 			io.CopyN(io.Discard, br, int64(remaining)*int64(frameLen)) //nolint:errcheck // best-effort drain
 			return err
 		}
+		s.metrics.reportsAbsorbed.Add(int64(k))
 	}
+	s.metrics.batchesAbsorbed.Add(1)
 	return nil
 }
 
 func (s *Server) handleIdentify(conn net.Conn) error {
-	// The aggregator finalizes itself; identification honors no deadline on
-	// the server side — the client's context bounds how long it waits.
-	est, err := s.agg.Identify(context.Background())
+	// Identification honors no server-side deadline — the client's context
+	// bounds how long it waits — but it does honor the client itself: the
+	// watcher below cancels the derived context the moment the peer hangs
+	// up, so an O~(n) reconstruction never runs on for a caller that is
+	// gone. The read is safe as a disconnect probe because the identify
+	// protocol sends nothing after the command byte (clients hold the
+	// connection open without half-closing until the reply lands), so the
+	// only bytes this Read can return precede an EOF or reset.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(watchDone)
+		var one [1]byte
+		conn.Read(one[:]) //nolint:errcheck // any outcome means the client is done talking
+		cancel()
+	}()
+	// The deferred conn.Close in acceptLoop unblocks the watcher; wait for
+	// it here too so the pooled buffers this handler still references are
+	// not returned while a goroutine from this connection lives.
+	defer func() { cancel(); conn.SetReadDeadline(time.Now()); <-watchDone }() //nolint:errcheck // teardown
+
+	start := time.Now()
+	est, err := s.agg.Identify(ctx)
+	elapsed := time.Since(start)
+	s.metrics.identifies.Add(1)
+	s.metrics.identifyNanos.Add(int64(elapsed))
+	s.metrics.lastIdentifyNanos.Store(int64(elapsed))
 	if err != nil {
+		s.metrics.identifyErrors.Add(1)
 		return err
 	}
 	// Validate before the first write: once the count header is on the wire
@@ -522,6 +864,7 @@ func (s *Server) handleSnapshot(conn net.Conn) error {
 	if len(snap) > maxSnapshotBytes {
 		return fmt.Errorf("protocol: snapshot of %d bytes exceeds transfer cap", len(snap))
 	}
+	s.metrics.snapshotsServed.Add(1)
 	bw := bufio.NewWriter(conn)
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(snap)))
@@ -555,7 +898,14 @@ func (s *Server) handleMergeSnapshot(conn net.Conn, br *bufio.Reader) error {
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return fmt.Errorf("protocol: reading snapshot body: %w", err)
 	}
+	before := s.agg.TotalReports()
 	if err := m.MergeSnapshot(buf); err != nil {
+		s.metrics.absorbErrors.Add(1)
+		return err
+	}
+	s.metrics.mergesAbsorbed.Add(1)
+	s.metrics.reportsAbsorbed.Add(int64(s.agg.TotalReports() - before))
+	if err := s.maybeCheckpointSync(); err != nil {
 		return err
 	}
 	_, err = conn.Write([]byte{ackByte})

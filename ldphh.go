@@ -3,6 +3,7 @@ package ldphh
 import (
 	"context"
 	"math/rand/v2"
+	"time"
 
 	"ldphh/internal/baseline"
 	"ldphh/internal/composition"
@@ -247,17 +248,53 @@ func ZipfDataset(d Domain, n, support int, s float64, rng *rand.Rand) (*Dataset,
 	return workload.Zipf(d, n, support, s, rng)
 }
 
+// ServerOption configures durability and observability on the aggregation
+// servers: see WithCheckpointDir, WithCheckpointInterval,
+// WithCheckpointEvery, WithCheckpointRetain and WithMetricsAddr.
+type ServerOption = protocol.ServerOption
+
+// ServerMetrics is the operability counter surface Server.Metrics exposes.
+type ServerMetrics = protocol.Metrics
+
+// WithCheckpointDir enables durable checkpoints in dir: the newest valid
+// checkpoint on disk is restored into the aggregator before the server
+// accepts its first connection (torn files fall back to the previous valid
+// one; a parameter-fingerprint mismatch fails startup loudly), the state
+// is persisted periodically while the round runs, and a graceful shutdown
+// writes a final checkpoint. The aggregator must be Mergeable.
+func WithCheckpointDir(dir string) ServerOption { return protocol.WithCheckpointDir(dir) }
+
+// WithCheckpointInterval sets the periodic checkpoint cadence (default
+// 30s; <= 0 leaves only ack-coupled and shutdown checkpoints).
+func WithCheckpointInterval(d time.Duration) ServerOption {
+	return protocol.WithCheckpointInterval(d)
+}
+
+// WithCheckpointEvery checkpoints synchronously before acknowledging any
+// report command once n reports have accumulated since the last
+// checkpoint — an acknowledged batch is on disk before the sender retires
+// it, so a crash loses at most the unacknowledged window.
+func WithCheckpointEvery(n int) ServerOption { return protocol.WithCheckpointEvery(n) }
+
+// WithCheckpointRetain keeps the newest n checkpoint files (default 3,
+// minimum 2).
+func WithCheckpointRetain(n int) ServerOption { return protocol.WithCheckpointRetain(n) }
+
+// WithMetricsAddr starts the HTTP operability sidecar on addr: /healthz
+// for probes, /metrics for Prometheus scrapes.
+func WithMetricsAddr(addr string) ServerOption { return protocol.WithMetricsAddr(addr) }
+
 // NewServer starts a TCP aggregation server for one PrivateExpanderSketch
 // collection round.
-func NewServer(params Params, addr string) (*Server, error) {
-	return protocol.NewServer(params, addr)
+func NewServer(params Params, addr string, opts ...ServerOption) (*Server, error) {
+	return protocol.NewServer(params, addr, opts...)
 }
 
 // NewAggregationServer starts a TCP aggregation server around any
 // Aggregator — every protocol kind New constructs plugs into the same
 // generic server, which negotiates the protocol ID at connection time.
-func NewAggregationServer(agg Aggregator, addr string) (*Server, error) {
-	return protocol.NewGenericServer(agg, addr)
+func NewAggregationServer(agg Aggregator, addr string, opts ...ServerOption) (*Server, error) {
+	return protocol.NewGenericServer(agg, addr, opts...)
 }
 
 // SendReports streams reports to a server and waits for its acknowledgment.
