@@ -31,6 +31,8 @@ type benchConfig struct {
 	Workers   int    // Identify worker-pool size (pes; 0 = GOMAXPROCS)
 	Fleets    int    // concurrent sender connections in tcp transport; 0 = 4
 	Wire      string // tcp framing: batch (pipelined mega-batches) | stream (legacy per-frame); "" = batch
+	Windows   int    // streaming per-user budget split (streamhg; 0 = facade default)
+	TopK      int    // streaming answer size (streamhg; 0 = facade default)
 }
 
 // topRow is one of the leading output estimates with its ground truth.
@@ -68,7 +70,7 @@ type benchResult struct {
 // bounded explicit domain.
 func enumerableKind(k ldphh.Kind) bool {
 	switch k {
-	case ldphh.KindSmallDomain, ldphh.KindDirectHistogram, ldphh.KindBassilySmith:
+	case ldphh.KindSmallDomain, ldphh.KindDirectHistogram, ldphh.KindBassilySmith, ldphh.KindStreamHG:
 		return true
 	}
 	return false
@@ -114,6 +116,14 @@ func newProtocol(cfg benchConfig, kind ldphh.Kind, ds *workload.Dataset) (ldphh.
 		// zipf/uniform items are the ordinals [1, support]; pad by one for
 		// the zero ordinal.
 		opts = append(opts, ldphh.WithDomainSize(cfg.Support+1))
+	}
+	if kind == ldphh.KindStreamHG {
+		if cfg.Windows > 0 {
+			opts = append(opts, ldphh.WithWindows(cfg.Windows))
+		}
+		if cfg.TopK > 0 {
+			opts = append(opts, ldphh.WithTopK(cfg.TopK))
+		}
 	}
 	if kind == ldphh.KindHashtogram {
 		// A frequency oracle estimates a known dictionary; benchmark it on
@@ -307,8 +317,10 @@ func filterToTop(heavy []workload.ItemCount, ds *workload.Dataset, k int) []work
 }
 
 // table1Protocols is the -protocol all sweep: every heavy-hitters protocol
-// of the paper's Table 1 comparison, driven through the identical path.
-var table1Protocols = []string{"pes", "smalldomain", "bitstogram", "treehist", "bassilysmith"}
+// of the paper's Table 1 comparison, driven through the identical path,
+// plus the continuous-query streaming kind so its throughput rides the
+// same artifact.
+var table1Protocols = []string{"pes", "smalldomain", "bitstogram", "treehist", "bassilysmith", "streamhg"}
 
 // runAll sweeps the Table 1 protocols with one shared config, forcing the
 // zipf workload (legal for every domain regime).

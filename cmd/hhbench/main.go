@@ -8,8 +8,8 @@
 //	hhbench -protocol all -json -out BENCH_table1.json
 //
 // -protocol all sweeps the Table 1 comparison (pes, smalldomain,
-// bitstogram, treehist, bassilysmith) over the zipf workload and emits a
-// JSON array — the per-protocol throughput artifact CI accumulates.
+// bitstogram, treehist, bassilysmith, streamhg) over the zipf workload and
+// emits a JSON array — the per-protocol throughput artifact CI accumulates.
 package main
 
 import (
@@ -33,6 +33,8 @@ var (
 	workers   = flag.Int("workers", 0, "Identify worker-pool size (pes; 0 = GOMAXPROCS)")
 	fleets    = flag.Int("fleets", 4, "concurrent sender connections (tcp transport)")
 	wire      = flag.String("wire", "batch", "tcp wire framing: batch (pipelined mega-batches) | stream (legacy per-frame)")
+	windows   = flag.Int("windows", 0, "per-user budget split w (streamhg; 0 = facade default)")
+	topk      = flag.Int("topk", 0, "streaming answer size (streamhg; 0 = facade default)")
 	jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
 	outPath   = flag.String("out", "", "also write the (JSON) result to this file")
 )
@@ -53,6 +55,8 @@ func main() {
 		Workers:   *workers,
 		Fleets:    *fleets,
 		Wire:      *wire,
+		Windows:   *windows,
+		TopK:      *topk,
 	}
 	if *proto == "all" {
 		results, err := runAll(cfg)

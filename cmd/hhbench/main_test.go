@@ -130,6 +130,27 @@ func TestRunBenchTCPTransport(t *testing.T) {
 	}
 }
 
+// TestRunBenchStreamHG drives the streaming kind through the identical
+// bench path: the bounded HeavyGuardian structure must honor the same
+// promised-vs-recalled contract the batch protocols do, with the -windows
+// and -topk knobs reaching the facade.
+func TestRunBenchStreamHG(t *testing.T) {
+	res, err := runBench(benchConfig{
+		N: 8000, Eps: 16, ItemBytes: 2, Protocol: "streamhg",
+		Workload: "zipf", ZipfS: 1.4, Support: 100, Seed: 1,
+		Windows: 2, TopK: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promised < 1 || res.Recalled < res.Promised {
+		t.Fatalf("promised %d, recalled %d — the streaming round regressed", res.Promised, res.Recalled)
+	}
+	if res.OutputSize > 24 {
+		t.Fatalf("output size %d exceeds the requested top-24", res.OutputSize)
+	}
+}
+
 // TestRunAllEmitsJSONArray drives the -protocol all sweep at a small size
 // and pins the artifact shape BENCH_table1.json consumers parse.
 func TestRunAllEmitsJSONArray(t *testing.T) {

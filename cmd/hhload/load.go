@@ -68,6 +68,10 @@ func newLoadProtocol(cfg loadConfig, kind ldphh.Kind) (ldphh.Protocol, error) {
 	switch kind {
 	case ldphh.KindSmallDomain, ldphh.KindDirectHistogram, ldphh.KindBassilySmith:
 		opts = append(opts, ldphh.WithDomainSize(cfg.Support+1))
+	case ldphh.KindStreamHG:
+		// The continuous-query kind spends ε/w per window; the ingest path
+		// under load is otherwise identical to the batch kinds.
+		opts = append(opts, ldphh.WithDomainSize(cfg.Support+1))
 	case ldphh.KindHashtogram:
 		// The oracle answers a known dictionary; query the zipf head.
 		k := min(cfg.Support, 32)

@@ -6,7 +6,7 @@ import "testing"
 // combination through the library entry point — the same path `hhload`
 // runs from the command line and CI's ingest smoke job exercises.
 func TestLoadSmoke(t *testing.T) {
-	for _, proto := range []string{"pes", "hashtogram"} {
+	for _, proto := range []string{"pes", "hashtogram", "streamhg"} {
 		for _, wire := range []string{"batch", "stream"} {
 			t.Run(proto+"/"+wire, func(t *testing.T) {
 				cfg := loadConfig{

@@ -1,0 +1,225 @@
+// Stream telemetry: the continuous-query deployment the streaming kind
+// exists for — a device fleet reports a zipf-distributed metric indefinitely
+// under a per-window LDP budget, and a monitor asks the aggregation server
+// "what is hot right now" every second while ingestion keeps running.
+//
+// One TCP connection carries everything: mega-batch ingest and the pipelined
+// top-k query command interleave on the same IngestConn, so the monitor sees
+// estimates that track the live stream without ever closing the round. At
+// the end the final top-k is compared against the ground truth the simulated
+// fleet kept for itself.
+//
+// Flags:
+//
+//	-duration  how long to stream (default 75s)
+//	-rate      reports per second (default 2000)
+//	-eps       total per-user privacy budget over the stream (default 16)
+//	-windows   per-user budget split w; each report spends eps/w (default 4)
+//	-k         top-k size to query (default 10)
+//	-domain    metric domain size (default 256)
+//	-zipf-s    zipf exponent of the fleet's distribution (default 1.3)
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"time"
+
+	"ldphh"
+)
+
+type config struct {
+	duration time.Duration
+	tick     time.Duration
+	rate     int
+	eps      float64
+	windows  int
+	k        int
+	domain   int
+	zipfS    float64
+	seed     uint64
+	out      io.Writer
+}
+
+// summary is what a run proves: the final streaming top-k against the
+// ground truth the fleet kept locally.
+type summary struct {
+	reports  int
+	queries  int
+	topTrue  uint16  // most frequent true value
+	topFound bool    // topTrue present in the final streaming top-k
+	recallK  float64 // fraction of the true top-k present in the final answer
+}
+
+func item(v uint16) []byte {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, v)
+	return b
+}
+
+func run(cfg config) (summary, error) {
+	var sum summary
+	n := int(float64(cfg.rate) * cfg.duration.Seconds())
+	newProto := func() (ldphh.Protocol, error) {
+		return ldphh.New(ldphh.KindStreamHG,
+			ldphh.WithEps(cfg.eps), ldphh.WithN(n), ldphh.WithItemBytes(2),
+			ldphh.WithDomainSize(cfg.domain), ldphh.WithWindows(cfg.windows),
+			ldphh.WithTopK(cfg.k), ldphh.WithWindowSize(n/cfg.windows+1),
+			ldphh.WithSeed(cfg.seed))
+	}
+	device, err := newProto()
+	if err != nil {
+		return sum, err
+	}
+	agg, err := newProto()
+	if err != nil {
+		return sum, err
+	}
+	srv, err := ldphh.NewAggregationServer(agg, "127.0.0.1:0")
+	if err != nil {
+		return sum, err
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration+30*time.Second)
+	defer cancel()
+	conn, err := ldphh.DialIngest(ctx, srv.Addr(), ldphh.KindStreamHG)
+	if err != nil {
+		return sum, err
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewPCG(cfg.seed, cfg.seed^0xda3e39cb94b95bdb))
+	zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.domain-1))
+	truth := make([]int, cfg.domain)
+	perTick := int(float64(cfg.rate) * cfg.tick.Seconds())
+	if perTick < 1 {
+		perTick = 1
+	}
+
+	fmt.Fprintf(cfg.out, "streaming %v at %d reports/s: eps=%.0f over %d windows (eps/w=%.2f), domain %d, top-%d every %v\n",
+		cfg.duration, cfg.rate, cfg.eps, cfg.windows, cfg.eps/float64(cfg.windows), cfg.domain, cfg.k, cfg.tick)
+
+	batch := make([]ldphh.WireReport, 0, perTick)
+	ticker := time.NewTicker(cfg.tick)
+	defer ticker.Stop()
+	deadline := time.Now().Add(cfg.duration)
+	for user := 0; time.Now().Before(deadline); {
+		<-ticker.C
+		// One tick of fleet traffic, shipped as a single mega-batch.
+		batch = batch[:0]
+		for i := 0; i < perTick; i++ {
+			v := uint16(zipf.Uint64())
+			truth[v]++
+			wr, err := device.Report(item(v), user, rng)
+			if err != nil {
+				return sum, err
+			}
+			batch = append(batch, wr)
+			user++
+		}
+		if err := conn.SendBatch(ctx, batch); err != nil {
+			return sum, err
+		}
+		sum.reports += len(batch)
+
+		// The monitor's question, on the same pipelined connection.
+		est, err := conn.QueryTopK(ctx, cfg.k)
+		if err != nil {
+			return sum, err
+		}
+		sum.queries++
+		var stats ldphh.StreamStats
+		if cq, ok := ldphh.AsContinuousQuerier(agg); ok {
+			stats = cq.StreamStats()
+		}
+		fmt.Fprintf(cfg.out, "t+%2ds window %d/%d%s  %d reports  top:",
+			sum.queries, stats.Window, stats.Windows, warmTag(stats.Warmup), sum.reports)
+		for i, e := range est {
+			if i == 5 {
+				fmt.Fprintf(cfg.out, " …")
+				break
+			}
+			fmt.Fprintf(cfg.out, " %d:%.0f", binary.BigEndian.Uint16(e.Item), e.Count)
+		}
+		fmt.Fprintln(cfg.out)
+	}
+
+	// Final answer vs the fleet's ground truth.
+	final, err := ldphh.QueryTopKContext(ctx, srv.Addr(), cfg.k)
+	if err != nil {
+		return sum, err
+	}
+	type vc struct {
+		v uint16
+		c int
+	}
+	ranked := make([]vc, 0, cfg.domain)
+	for v, c := range truth {
+		ranked = append(ranked, vc{uint16(v), c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].c != ranked[j].c {
+			return ranked[i].c > ranked[j].c
+		}
+		return ranked[i].v < ranked[j].v
+	})
+	inFinal := func(v uint16) bool {
+		for _, e := range final {
+			if binary.BigEndian.Uint16(e.Item) == v {
+				return true
+			}
+		}
+		return false
+	}
+	sum.topTrue = ranked[0].v
+	sum.topFound = inFinal(ranked[0].v)
+	kk := cfg.k
+	if kk > len(ranked) {
+		kk = len(ranked)
+	}
+	hit := 0
+	fmt.Fprintf(cfg.out, "\nfinal top-%d vs ground truth:\n", kk)
+	for _, r := range ranked[:kk] {
+		mark := "MISS"
+		if inFinal(r.v) {
+			hit++
+			mark = "hit"
+		}
+		fmt.Fprintf(cfg.out, "  value %3d  true %6d  %s\n", r.v, r.c, mark)
+	}
+	sum.recallK = float64(hit) / float64(kk)
+	fmt.Fprintf(cfg.out, "streamed %d reports, answered %d queries, true-top-%d recall %.0f%%\n",
+		sum.reports, sum.queries, kk, 100*sum.recallK)
+	return sum, nil
+}
+
+func warmTag(warm bool) string {
+	if warm {
+		return " (warmup)"
+	}
+	return ""
+}
+
+func main() {
+	cfg := config{tick: time.Second, out: os.Stdout}
+	flag.DurationVar(&cfg.duration, "duration", 75*time.Second, "how long to stream")
+	flag.IntVar(&cfg.rate, "rate", 2000, "reports per second")
+	flag.Float64Var(&cfg.eps, "eps", 16, "total per-user privacy budget")
+	flag.IntVar(&cfg.windows, "windows", 4, "per-user budget split w")
+	flag.IntVar(&cfg.k, "k", 10, "top-k size")
+	flag.IntVar(&cfg.domain, "domain", 256, "metric domain size")
+	flag.Float64Var(&cfg.zipfS, "zipf-s", 1.3, "zipf exponent")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "public-randomness seed")
+	flag.Parse()
+	if _, err := run(cfg); err != nil {
+		log.Fatal(err)
+	}
+}

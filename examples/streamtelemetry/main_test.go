@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke streams for a few seconds and checks the pipeline end to
+// end: batches flow, queries answer every tick, and the dominant zipf value
+// survives into the final top-k. CI runs this as the streaming smoke gate.
+func TestRunSmoke(t *testing.T) {
+	cfg := config{
+		duration: 4 * time.Second,
+		tick:     200 * time.Millisecond, // compress the 1s cadence for CI
+		rate:     5000,
+		eps:      16,
+		windows:  4,
+		k:        10,
+		domain:   256,
+		zipfS:    1.3,
+		seed:     42,
+		out:      io.Discard,
+	}
+	sum, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.reports < cfg.rate {
+		t.Fatalf("streamed only %d reports in %v", sum.reports, cfg.duration)
+	}
+	if sum.queries < 5 {
+		t.Fatalf("answered only %d queries, want one per tick", sum.queries)
+	}
+	if !sum.topFound {
+		t.Errorf("dominant true value %d missing from the final top-%d", sum.topTrue, cfg.k)
+	}
+	if sum.recallK < 0.3 {
+		t.Errorf("true top-%d recall %.0f%% — the stream pipeline is not tracking the distribution", cfg.k, 100*sum.recallK)
+	}
+}

@@ -86,6 +86,7 @@ type Hashtogram struct {
 	rand      ldp.HadamardBit
 	acc       [][]float64 // [row][col] running sums of ±1 reports
 	rowCounts []int
+	total     int // running sum of rowCounts, kept in lockstep
 	est       [][]float64 // [row][bucket] finalized estimates
 	finalized bool
 }
@@ -181,6 +182,7 @@ func (h *Hashtogram) Absorb(rep HashtogramReport) error {
 	}
 	h.acc[rep.Row][rep.Col] += float64(rep.Bit)
 	h.rowCounts[rep.Row]++
+	h.total++
 	return nil
 }
 
@@ -200,8 +202,13 @@ func (h *Hashtogram) FinalizeWorkers(workers int) {
 		return
 	}
 	h.est = make([][]float64, h.p.Rows)
+	// One slab holds every row's estimate vector: a single rows×T allocation
+	// sliced per row instead of R separate copies, so finalization does not
+	// fragment the heap and the frozen sketch stays cache-contiguous.
+	slab := make([]float64, h.p.Rows*h.p.T)
 	par.Range(h.p.Rows, workers, func(r int) {
-		v := append([]float64(nil), h.acc[r]...)
+		v := slab[r*h.p.T : (r+1)*h.p.T : (r+1)*h.p.T]
+		copy(v, h.acc[r])
 		hadamard.Transform(v)
 		c := h.rand.CEps()
 		for j := range v {
@@ -212,14 +219,10 @@ func (h *Hashtogram) FinalizeWorkers(workers int) {
 	h.finalized = true
 }
 
-// TotalReports returns the number of absorbed reports.
-func (h *Hashtogram) TotalReports() int {
-	n := 0
-	for _, c := range h.rowCounts {
-		n += c
-	}
-	return n
-}
+// TotalReports returns the number of absorbed reports. The count is
+// maintained incrementally alongside rowCounts, so the call is O(1) — it
+// sits on the Estimate hot path (every query rescales by the total).
+func (h *Hashtogram) TotalReports() int { return h.total }
 
 // Merge folds another aggregator's accumulated state into this one. Both
 // must be built from identical parameters (same Seed, so same public
@@ -238,6 +241,7 @@ func (h *Hashtogram) Merge(other *Hashtogram) error {
 		}
 		h.rowCounts[r] += other.rowCounts[r]
 	}
+	h.total += other.total
 	return nil
 }
 

@@ -49,6 +49,76 @@ func TestHashtogramMerge(t *testing.T) {
 	}
 }
 
+// sumRowCounts re-derives the report total the slow way; the running
+// counter behind TotalReports must agree with it after every mutation.
+func sumRowCounts(h *Hashtogram) int {
+	n := 0
+	for _, c := range h.rowCounts {
+		n += c
+	}
+	return n
+}
+
+func TestHashtogramTotalReportsRunningCounter(t *testing.T) {
+	params := HashtogramParams{Eps: 1, N: 4000, Seed: 7}
+	h, err := NewHashtogram(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string, sk *Hashtogram) {
+		t.Helper()
+		if got, want := sk.TotalReports(), sumRowCounts(sk); got != want {
+			t.Fatalf("%s: TotalReports = %d, rowCounts sum to %d", stage, got, want)
+		}
+	}
+	check("empty", h)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 500; i++ {
+		if err := h.Absorb(h.Report(key(uint64(i%17)), i, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("after absorb", h)
+
+	// Shards start from zero and fold back through Merge.
+	shard := h.NewAccumulator()
+	check("fresh accumulator", shard)
+	for i := 500; i < 800; i++ {
+		if err := shard.Absorb(h.Report(key(uint64(i%17)), i, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("absorbed shard", shard)
+	if err := h.Merge(shard); err != nil {
+		t.Fatal(err)
+	}
+	check("after merge", h)
+	if got := h.TotalReports(); got != 800 {
+		t.Fatalf("merged total = %d, want 800", got)
+	}
+
+	// Restore rebuilds the counter from the snapshot's row counts — both
+	// into a dirty sketch (stale counter must be overwritten) and a fresh one.
+	snap, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := NewHashtogram(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.Absorb(h.Report(key(3), 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dirty.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	check("after restore", dirty)
+	if got := dirty.TotalReports(); got != 800 {
+		t.Fatalf("restored total = %d, want 800", got)
+	}
+}
+
 func TestHashtogramMergeValidation(t *testing.T) {
 	a, _ := NewHashtogram(HashtogramParams{Eps: 1, N: 100, Seed: 1})
 	b, _ := NewHashtogram(HashtogramParams{Eps: 1, N: 100, Seed: 2})

@@ -129,8 +129,10 @@ func (h *Hashtogram) Restore(buf []byte) error {
 	}
 	// Commit pass.
 	off = 13
+	h.total = 0
 	for r := 0; r < rows; r++ {
 		h.rowCounts[r] = int(binary.BigEndian.Uint64(buf[off:]))
+		h.total += h.rowCounts[r]
 		off += 8
 	}
 	for r := 0; r < rows; r++ {

@@ -39,6 +39,7 @@ const (
 	IDBitstogram            byte = 0x05 // Bassily et al. NIPS 2017 [3]
 	IDTreeHist              byte = 0x06 // prefix-tree protocol of [3]
 	IDBassilySmith          byte = 0x07 // Bassily–Smith STOC 2015 style [4]
+	IDStreamHG              byte = 0x08 // streaming HeavyGuardian top-k (continuous query)
 )
 
 // Estimate is one identified item with its estimated multiplicity. It is the
@@ -194,4 +195,36 @@ type Fingerprinted interface {
 func AsFingerprinted(a Aggregator) (Fingerprinted, bool) {
 	f, ok := a.(Fingerprinted)
 	return f, ok
+}
+
+// StreamStats describes a continuous-query aggregator's position in its
+// stream: the zero-based window the next report lands in, the configured
+// per-user budget split (each report is randomized at ε/Windows), and the
+// bounded-memory structure's churn. Batch aggregators have no stats.
+type StreamStats struct {
+	Window     int   // zero-based index of the current ingest window
+	Windows    int   // configured budget split w (per-report budget is ε/w)
+	WindowSize int   // reports per window (the window clock)
+	TopK       int   // configured top-k answer size
+	Warmup     bool  // still in the structure-filling warmup phase
+	Evictions  int64 // cells evicted by decay so far
+}
+
+// ContinuousQuerier is the optional aggregator capability behind the
+// QueryTopK server command: answer "what is hot right now" over the live
+// structure without retiring the round the way Identify does. k <= 0 asks
+// for the aggregator's configured top-k size. Detect it with
+// AsContinuousQuerier.
+type ContinuousQuerier interface {
+	QueryTopK(ctx context.Context, k int) ([]Estimate, error)
+	StreamStats() StreamStats
+}
+
+// AsContinuousQuerier reports whether the aggregator answers continuous
+// top-k queries, returning the capability view when it does. The generic
+// server uses this to serve the QueryTopK command (and to surface stream
+// position in /metrics) only for streaming protocols.
+func AsContinuousQuerier(a Aggregator) (ContinuousQuerier, bool) {
+	c, ok := a.(ContinuousQuerier)
+	return c, ok
 }

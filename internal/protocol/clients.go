@@ -409,6 +409,74 @@ func RequestIdentifyContext(ctx context.Context, addr string) ([]proto.Estimate,
 	return est, nil
 }
 
+// QueryTopK asks a streaming aggregation server for its current top-k heavy
+// hitters without retiring the round (context-free legacy form). k <= 0
+// asks for the server's configured answer size. Servers for batch protocols
+// reject the query with an ERR reply.
+func QueryTopK(addr string, k int) ([]proto.Estimate, error) {
+	return QueryTopKContext(context.Background(), addr, k)
+}
+
+// QueryTopKContext is QueryTopK with deadline/cancellation propagation.
+func QueryTopKContext(ctx context.Context, addr string, k int) ([]proto.Estimate, error) {
+	if k < 0 {
+		k = 0
+	}
+	var est []proto.Estimate
+	err := withConn(ctx, addr, func(conn net.Conn) error {
+		bw := bufio.NewWriter(conn)
+		if err := writePreamble(bw, proto.IDWildcard, cmdQueryTopK); err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(k))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		var err error
+		est, err = readEstimates(bufio.NewReader(conn))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// QueryTopK asks the server for its current top-k over the session's
+// persistent connection — the command is pipelined, so a monitor can
+// interleave queries with SendBatch calls without re-dialing. k <= 0 asks
+// for the server's configured answer size.
+func (c *IngestConn) QueryTopK(ctx context.Context, k int) ([]proto.Estimate, error) {
+	if k < 0 {
+		k = 0
+	}
+	var est []proto.Estimate
+	err := c.runWithCtx(ctx, func() error {
+		if err := c.bw.WriteByte(cmdQueryTopK); err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(k))
+		if _, err := c.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		var err error
+		est, err = readEstimates(c.br)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
 // RequestSnapshot asks an aggregation server for its accumulated state and
 // returns the snapshot bytes, ready to feed a parent aggregator via
 // PushSnapshot (or Mergeable.MergeSnapshot / Restore in process).

@@ -16,6 +16,7 @@ import (
 	"ldphh/internal/core"
 	"ldphh/internal/freqoracle"
 	"ldphh/internal/proto"
+	"ldphh/internal/stream"
 )
 
 // ordItem encodes ordinal v as a width-w item.
@@ -165,6 +166,24 @@ func genericCases() []genericCase {
 				return mk(), mk()
 			},
 			itemFor: plantedOrdinals(2, 100),
+			heavy:   ordItem(1, 2),
+		},
+		{
+			name: "streamhg", n: 6000, itemBytes: 2,
+			build: func(t *testing.T) (proto.Reporter, proto.Aggregator) {
+				mk := func() *stream.Wire {
+					w, err := stream.NewWire(stream.Params{
+						Kind: stream.BasicHG, Eps: 16, Windows: 4, K: 16, Domain: 64,
+						WindowSize: 1500, WarmupWindows: 0, N: 6000, Seed: seed,
+					}, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return w
+				}
+				return mk(), mk()
+			},
+			itemFor: plantedOrdinals(2, 32),
 			heavy:   ordItem(1, 2),
 		},
 	}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"ldphh/internal/proto"
 )
 
 // Metrics is the server's operability surface: a set of atomic counters
@@ -31,6 +33,9 @@ type Metrics struct {
 	identifyErrors    atomic.Int64
 	identifyNanos     atomic.Int64 // cumulative wall time inside Identify
 	lastIdentifyNanos atomic.Int64
+
+	topkQueries     atomic.Int64 // continuous top-k queries answered over the wire
+	topkQueryErrors atomic.Int64 // top-k queries rejected (unsupported protocol, bad k)
 
 	snapshotsServed atomic.Int64
 	mergesAbsorbed  atomic.Int64
@@ -101,8 +106,10 @@ func (m *Metrics) uptime() float64 {
 
 // writeProm renders the Prometheus text exposition format. resident is the
 // aggregator's authoritative TotalReports at scrape time (it includes
-// recovered and merged state); listenerErr reports permanent listener death.
-func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error) {
+// recovered and merged state); listenerErr reports permanent listener
+// death; stream is the continuous-query position for streaming aggregators
+// (nil for batch protocols, which have no stream series).
+func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error, stream *proto.StreamStats) {
 	p := m.protocol
 	up := 1
 	if listenerErr != nil {
@@ -134,13 +141,28 @@ func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error) {
 	gauge("ldphh_identify_seconds_total", "Cumulative wall time spent in Identify.", float64(m.identifyNanos.Load())/1e9)
 	gauge("ldphh_identify_last_seconds", "Wall time of the most recent Identify.", float64(m.lastIdentifyNanos.Load())/1e9)
 
+	counter("ldphh_topk_queries_total", "Continuous top-k queries answered over the wire.", m.topkQueries.Load())
+	counter("ldphh_topk_query_errors_total", "Continuous top-k queries rejected.", m.topkQueryErrors.Load())
+	if stream != nil {
+		gauge("ldphh_stream_window", "Zero-based index of the current ingest window.", float64(stream.Window))
+		gauge("ldphh_stream_windows", "Configured per-user budget split w (per-report budget is eps/w).", float64(stream.Windows))
+		gauge("ldphh_stream_warmup", "1 while the bounded structure is in its filling warmup phase.", b2f(stream.Warmup))
+		counter("ldphh_stream_evictions_total", "Cells evicted from the bounded structure by decay.", stream.Evictions)
+	}
+
 	counter("ldphh_snapshots_served_total", "Snapshot commands served to parent aggregators.", m.snapshotsServed.Load())
 	counter("ldphh_snapshot_merges_total", "Child snapshots merged into this aggregator.", m.mergesAbsorbed.Load())
 
 	counter("ldphh_checkpoints_total", "Durable checkpoints written this run.", m.checkpoints.Load())
 	counter("ldphh_checkpoint_errors_total", "Checkpoint attempts that failed.", m.checkpointErrors.Load())
 	gauge("ldphh_checkpoint_seq", "Sequence number of the newest durable checkpoint.", float64(m.checkpointSeq.Load()))
-	if age := m.CheckpointAge(); age >= 0 {
+	// CheckpointAge returns the -1 "never" sentinel until the first durable
+	// save; the age series is omitted then (a negative age would poison
+	// min()/alerting math) and the _taken flag tells the two states apart
+	// from a plain zero-age scrape.
+	age := m.CheckpointAge()
+	gauge("ldphh_checkpoint_taken", "1 once a durable checkpoint exists (written this run or recovered).", b2f(age >= 0))
+	if age >= 0 {
 		gauge("ldphh_checkpoint_age_seconds", "Seconds since the newest durable checkpoint.", age.Seconds())
 	}
 	gauge("ldphh_checkpoint_lag_reports", "Absorbed reports not yet covered by a durable checkpoint.", float64(m.CheckpointLag()))
@@ -208,20 +230,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	age := -1.0
+	// Before the first durable checkpoint CheckpointAge returns the -1
+	// sentinel; the JSON reports a NaN-safe 0 plus an explicit taken flag,
+	// so a probe never parses a negative age as a real duration.
+	age, taken := 0.0, false
 	if a := m.CheckpointAge(); a >= 0 {
-		age = a.Seconds()
+		age, taken = a.Seconds(), true
 	}
-	fmt.Fprintf(w, `{"status":%q,"protocol":%q,"uptime_seconds":%.3f,"absorbed":%d,"resident":%d,"checkpoint_seq":%d,"checkpoint_age_seconds":%.3f,"checkpoint_lag_reports":%d,"last_checkpoint_error":%q,"listener_error":%q}`+"\n",
+	stream := ""
+	if cq, ok := proto.AsContinuousQuerier(s.agg); ok {
+		st := cq.StreamStats()
+		stream = fmt.Sprintf(`,"stream_window":%d,"stream_windows":%d,"stream_warmup":%t,"stream_evictions":%d,"topk_queries":%d`,
+			st.Window, st.Windows, st.Warmup, st.Evictions, m.topkQueries.Load())
+	}
+	fmt.Fprintf(w, `{"status":%q,"protocol":%q,"uptime_seconds":%.3f,"absorbed":%d,"resident":%d,"checkpoint_seq":%d,"checkpoint_taken":%t,"checkpoint_age_seconds":%.3f,"checkpoint_lag_reports":%d,"last_checkpoint_error":%q,"listener_error":%q%s}`+"\n",
 		status, m.protocol, m.uptime(), m.reportsAbsorbed.Load(), s.agg.TotalReports(),
-		m.checkpointSeq.Load(), age, m.CheckpointLag(),
-		m.lastCkptErr.Load().(string), listenerErr)
+		m.checkpointSeq.Load(), taken, age, m.CheckpointLag(),
+		m.lastCkptErr.Load().(string), listenerErr, stream)
 }
 
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var stream *proto.StreamStats
+	if cq, ok := proto.AsContinuousQuerier(s.agg); ok {
+		st := cq.StreamStats()
+		stream = &st
+	}
 	bw := bufio.NewWriter(w)
-	s.metrics.writeProm(bw, s.agg.TotalReports(), s.Err())
+	s.metrics.writeProm(bw, s.agg.TotalReports(), s.Err(), stream)
 	bw.Flush() //nolint:errcheck // client gone
 }

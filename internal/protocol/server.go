@@ -25,6 +25,7 @@ const (
 	cmdSnapshot      = 0x03 // stream my accumulated state out (length-prefixed blob)
 	cmdMergeSnapshot = 0x04 // absorb a child aggregator's state (length-prefixed blob)
 	cmdReportBatch   = 0x05 // u32 frame count + that many contiguous frames; pipelined
+	cmdQueryTopK     = 0x07 // u32 k; reply is the estimate list; pipelined (0x06 is ackByte)
 )
 
 // maxSnapshotBytes bounds the length prefix either side of a snapshot
@@ -620,6 +621,12 @@ func (s *Server) handle(conn net.Conn) error {
 			// Pipelined: loop for the next command on this connection.
 		case cmdIdentify:
 			return s.handleIdentify(conn)
+		case cmdQueryTopK:
+			if err := s.handleQueryTopK(conn, br); err != nil {
+				return err
+			}
+			// Pipelined: a monitoring client interleaves queries with report
+			// batches on one connection.
 		case cmdSnapshot:
 			return s.handleSnapshot(conn)
 		case cmdMergeSnapshot:
@@ -805,8 +812,15 @@ func (s *Server) handleIdentify(conn net.Conn) error {
 		s.metrics.identifyErrors.Add(1)
 		return err
 	}
-	// Validate before the first write: once the count header is on the wire
-	// the reply can only be completed, not turned into an ERR line.
+	return writeEstimates(conn, est)
+}
+
+// writeEstimates renders the estimate-list reply shared by identify and
+// top-k queries: u32 count, then per estimate a u16 item length, the item
+// bytes and the count's IEEE 754 bits (bit-identical float64 on the far
+// side). Validation runs before the first write: once the count header is
+// on the wire the reply can only be completed, not turned into an ERR line.
+func writeEstimates(conn net.Conn, est []proto.Estimate) error {
 	for _, e := range est {
 		if len(e.Item) > 0xffff {
 			return fmt.Errorf("protocol: estimate item of %d bytes does not fit the reply frame", len(e.Item))
@@ -835,6 +849,40 @@ func (s *Server) handleIdentify(conn net.Conn) error {
 	}
 	return bw.Flush()
 }
+
+// handleQueryTopK serves one continuous top-k query: a u32 k (0 asks for
+// the aggregator's configured size) answered with the estimate-list framing
+// identify uses, against the live structure — the stream is not retired and
+// the connection loops for the next command, so a monitor can interleave
+// queries with ingest batches. Only aggregators with the
+// proto.ContinuousQuerier capability answer; others get an ERR reply.
+func (s *Server) handleQueryTopK(conn net.Conn, br *bufio.Reader) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("protocol: reading top-k request: %w", err)
+	}
+	cq, ok := proto.AsContinuousQuerier(s.agg)
+	if !ok {
+		s.metrics.topkQueryErrors.Add(1)
+		return fmt.Errorf("protocol: %s does not answer continuous top-k queries", s.codec.Name)
+	}
+	k := binary.BigEndian.Uint32(hdr[:])
+	if k > maxTopK {
+		s.metrics.topkQueryErrors.Add(1)
+		return fmt.Errorf("protocol: implausible top-k request %d", k)
+	}
+	est, err := cq.QueryTopK(context.Background(), int(k))
+	if err != nil {
+		s.metrics.topkQueryErrors.Add(1)
+		return err
+	}
+	s.metrics.topkQueries.Add(1)
+	return writeEstimates(conn, est)
+}
+
+// maxTopK caps one query's answer size, keeping a hostile k header from
+// provoking a domain-sized reply allocation.
+const maxTopK = 1 << 20
 
 // mergeable returns the aggregator's snapshot capability or an error for
 // the ERR reply when the protocol cannot snapshot.

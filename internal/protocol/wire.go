@@ -30,6 +30,13 @@
 //	cmdIdentify       no body; reply is u32 count, then per estimate
 //	                  u16 item length + item + f64 count (IEEE 754 bits, so
 //	                  the TCP path returns bit-identical estimates).
+//	cmdQueryTopK      u32 k (0 = the server's configured size); reply is
+//	                  the identify estimate framing, answered over the live
+//	                  structure without retiring the round (streaming
+//	                  aggregators with the proto.ContinuousQuerier
+//	                  capability only). Pipelined like cmdReportBatch, so a
+//	                  monitor interleaves queries with ingest batches on
+//	                  one connection.
 //	cmdSnapshot       no body; reply is u32 length + snapshot blob
 //	                  (Mergeable aggregators only).
 //	cmdMergeSnapshot  u32 length + snapshot blob; reply is one ACK byte.

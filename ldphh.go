@@ -42,11 +42,25 @@ type (
 	// their recovery floor (benchmarks score recall against it). Every
 	// kind New constructs implements it.
 	Calibrated = proto.Calibrated
+	// ContinuousQuerier is the optional capability of streaming
+	// aggregators (KindStreamHG): answer top-k over the live structure
+	// without retiring the round.
+	ContinuousQuerier = proto.ContinuousQuerier
+	// StreamStats describes a streaming aggregator's position: current
+	// window, budget split, warmup phase, eviction churn.
+	StreamStats = proto.StreamStats
 )
 
 // AsMergeable reports whether an aggregator supports snapshot/merge
 // fan-in, returning the capability view when it does.
 func AsMergeable(a Aggregator) (Mergeable, bool) { return proto.AsMergeable(a) }
+
+// AsContinuousQuerier reports whether an aggregator answers continuous
+// top-k queries while ingestion runs, returning the capability view when it
+// does (KindStreamHG aggregators do).
+func AsContinuousQuerier(a Aggregator) (ContinuousQuerier, bool) {
+	return proto.AsContinuousQuerier(a)
+}
 
 // Params configures the PrivateExpanderSketch heavy-hitters protocol; see
 // core.Params for field documentation. Zero values derive the paper's
@@ -341,6 +355,19 @@ func RequestIdentify(addr string) ([]Estimate, error) {
 // context's deadline.
 func RequestIdentifyContext(ctx context.Context, addr string) ([]Estimate, error) {
 	return protocol.RequestIdentifyContext(ctx, addr)
+}
+
+// QueryTopK asks a streaming aggregation server (KindStreamHG) for its
+// current top-k heavy hitters without retiring the round; k <= 0 asks for
+// the server's configured answer size. Batch-protocol servers reject the
+// query.
+func QueryTopK(addr string, k int) ([]Estimate, error) {
+	return protocol.QueryTopK(addr, k)
+}
+
+// QueryTopKContext is QueryTopK with deadline/cancellation propagation.
+func QueryTopKContext(ctx context.Context, addr string, k int) ([]Estimate, error) {
+	return protocol.QueryTopKContext(ctx, addr, k)
 }
 
 // Multi-aggregator trees. HeavyHitters state is a linear accumulator, so

@@ -7,6 +7,7 @@ import (
 	"ldphh/internal/core"
 	"ldphh/internal/freqoracle"
 	"ldphh/internal/proto"
+	"ldphh/internal/stream"
 )
 
 // Kind selects a protocol for New. The values are the wire protocol IDs of
@@ -26,6 +27,7 @@ const (
 	KindBitstogram        = Kind(proto.IDBitstogram)
 	KindTreeHist          = Kind(proto.IDTreeHist)
 	KindBassilySmith      = Kind(proto.IDBassilySmith)
+	KindStreamHG          = Kind(proto.IDStreamHG)
 )
 
 // String returns the kind's stable registry name ("pes", "bitstogram", ...).
@@ -72,6 +74,10 @@ type config struct {
 	domainSize int
 	minCount   float64
 	candidates [][]byte
+	windows    int
+	topK       int
+	windowSize int
+	streamKind stream.Kind
 }
 
 // Option configures New.
@@ -102,9 +108,10 @@ func WithWorkers(w int) Option { return func(c *config) { c.workers = w } }
 func WithY(y int) Option { return func(c *config) { c.y = y } }
 
 // WithDomainSize sets |X| for the enumerable-domain kinds (KindSmallDomain,
-// KindDirectHistogram, KindBassilySmith), whose items are width-ItemBytes
-// encodings of ordinals [0, size). Defaults to the full 256^ItemBytes
-// domain when ItemBytes <= 2; wider items require it explicitly.
+// KindDirectHistogram, KindBassilySmith, KindStreamHG), whose items are
+// width-ItemBytes encodings of ordinals [0, size). Defaults to the full
+// 256^ItemBytes domain when ItemBytes <= 2; wider items require it
+// explicitly.
 func WithDomainSize(size int) Option { return func(c *config) { c.domainSize = size } }
 
 // WithMinCount drops Identify output below the floor (0 keeps everything,
@@ -116,6 +123,28 @@ func WithMinCount(m float64) Option { return func(c *config) { c.minCount = m } 
 // frequency oracle cannot enumerate an open domain; it estimates a known
 // dictionary).
 func WithCandidates(items [][]byte) Option { return func(c *config) { c.candidates = items } }
+
+// WithWindows sets the streaming per-user budget split w (KindStreamHG;
+// default 4): each report is randomized at ε/w, so a device reporting at
+// most once per window spends at most ε over the stream.
+func WithWindows(w int) Option { return func(c *config) { c.windows = w } }
+
+// WithTopK sets the streaming answer size (KindStreamHG; default 16):
+// Identify and parameterless QueryTopK return the k largest debiased
+// estimates.
+func WithTopK(k int) Option { return func(c *config) { c.topK = k } }
+
+// WithWindowSize sets the server-side window clock for KindStreamHG: the
+// window index advances every n absorbed reports (default n/windows when
+// WithN is set, else 4096). The first window is the bounded structure's
+// warmup phase.
+func WithWindowSize(n int) Option { return func(c *config) { c.windowSize = n } }
+
+// WithStreamNaive selects the streaming full-histogram structure instead of
+// the default bounded HeavyGuardian one (KindStreamHG): O(domain) memory,
+// the accuracy baseline the bounded structure is judged against. Both
+// absorb identical wire reports.
+func WithStreamNaive() Option { return func(c *config) { c.streamKind = stream.Naive } }
 
 // New constructs a protocol instance of the given kind through the unified
 // proto surface: the result is both the device side (Report) and the
@@ -173,6 +202,34 @@ func New(kind Kind, opts ...Option) (Protocol, error) {
 			Eps: cfg.eps, N: cfg.n, ItemBytes: cfg.itemBytes,
 			DomainSize: size, Seed: cfg.seed,
 		}, cfg.minCount)
+	case KindStreamHG:
+		size, err := cfg.domain(kind)
+		if err != nil {
+			return nil, err
+		}
+		windows, topK, windowSize := cfg.windows, cfg.topK, cfg.windowSize
+		if windows == 0 {
+			windows = 4
+		}
+		if topK == 0 {
+			topK = 16
+		}
+		if windowSize == 0 {
+			if cfg.n > 0 && cfg.n/windows > 0 {
+				windowSize = cfg.n / windows
+			} else {
+				windowSize = 4096
+			}
+		}
+		sk := cfg.streamKind
+		if sk == 0 {
+			sk = stream.BasicHG
+		}
+		return stream.NewWire(stream.Params{
+			Kind: sk, Eps: cfg.eps, Windows: windows, K: topK,
+			Domain: size, WindowSize: windowSize, WarmupWindows: 1,
+			N: cfg.n, Seed: cfg.seed, Workers: cfg.workers,
+		}, cfg.itemBytes)
 	default:
 		return nil, fmt.Errorf("ldphh: unknown protocol kind %v", kind)
 	}

@@ -30,6 +30,7 @@ func TestNewAllKinds(t *testing.T) {
 		ldphh.KindSmallDomain:       true,
 		ldphh.KindHashtogram:        true,
 		ldphh.KindDirectHistogram:   true,
+		ldphh.KindStreamHG:          true,
 	}
 	// The population-splitting baselines carry a sqrt(n·L)-shaped recovery
 	// floor, so they need a larger round for the 40% heavy item to clear it.
@@ -113,6 +114,7 @@ func TestKindNamesRoundTrip(t *testing.T) {
 		ldphh.KindBitstogram:        "bitstogram",
 		ldphh.KindTreeHist:          "treehist",
 		ldphh.KindBassilySmith:      "bassilysmith",
+		ldphh.KindStreamHG:          "streamhg",
 	}
 	if got := len(ldphh.Kinds()); got != len(want) {
 		t.Fatalf("%d registered kinds, want %d", got, len(want))
