@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"ldphh/internal/profiling"
 )
 
 var (
@@ -37,10 +39,14 @@ var (
 	topk      = flag.Int("topk", 0, "streaming answer size (streamhg; 0 = facade default)")
 	jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
 	outPath   = flag.String("out", "", "also write the (JSON) result to this file")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProf   = flag.String("memprofile", "", "write a post-run heap profile to this file")
 )
 
 func main() {
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	fatal(err)
 	cfg := benchConfig{
 		N:         *n,
 		Eps:       *eps,
@@ -61,6 +67,7 @@ func main() {
 	if *proto == "all" {
 		results, err := runAll(cfg)
 		fatal(err)
+		fatal(stopProf())
 		fatal(emit(func(w io.Writer) error { return writeJSONAll(w, results) }))
 		if !*jsonOut {
 			for _, res := range results {
@@ -72,6 +79,7 @@ func main() {
 	}
 	res, err := runBench(cfg)
 	fatal(err)
+	fatal(stopProf())
 	fatal(emit(func(w io.Writer) error { return writeJSON(w, res) }))
 	if !*jsonOut {
 		writeText(os.Stdout, res)

@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"ldphh/internal/profiling"
 )
 
 var (
@@ -49,6 +51,8 @@ var (
 		"alternative exercise: \"crash\" runs the kill -9 + restart durability scenario instead of the throughput sweep")
 	killAfter = flag.Int("kill-after", 3,
 		"crash scenario: acknowledged mega-batches before the SIGKILL")
+	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProf = flag.String("memprofile", "", "write a post-run heap profile to this file")
 )
 
 func main() {
@@ -57,6 +61,11 @@ func main() {
 	if *scenario != "" {
 		runScenario()
 		return
+	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hhload: %v\n", err)
+		os.Exit(1)
 	}
 	var results []*loadResult
 	for _, proto := range strings.Split(*protocols, ",") {
@@ -86,6 +95,10 @@ func main() {
 			writeTextResult(os.Stdout, res)
 			results = append(results, res)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "hhload: %v\n", err)
+		os.Exit(1)
 	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

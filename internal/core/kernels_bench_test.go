@@ -1,0 +1,56 @@
+package core
+
+// Benchmark for the steps 2-3 admission scan — the per-coordinate argmax
+// kernel Identify spends its scan phase in. The protocol is built and
+// absorbed once outside the timer; the measured loop replays the full
+// M-coordinate scan against the frozen per-coordinate oracles, which is
+// exactly the work par.Range distributes inside Identify.
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"ldphh/internal/listrec"
+)
+
+func benchScanProtocol(b *testing.B) *Protocol {
+	b.Helper()
+	pr, err := New(Params{Eps: 4, N: 30000, ItemBytes: 4, Y: 64, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	var item [4]byte
+	for i := 0; i < 30000; i++ {
+		binary.BigEndian.PutUint32(item[:], uint32(i%512))
+		rep, err := pr.Report(item[:], i, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pr.Absorb(rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for m := range pr.direct {
+		pr.direct[m].Finalize()
+	}
+	return pr
+}
+
+func BenchmarkPESArgmaxScan(b *testing.B) {
+	pr := benchScanProtocol(b)
+	lists := make([][][]listrec.Symbol, pr.p.B)
+	for bb := range lists {
+		lists[bb] = make([][]listrec.Symbol, pr.p.M)
+	}
+	cells := pr.p.CellsPerCoordinate(pr.zbits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for m := 0; m < pr.p.M; m++ {
+			pr.scanLists(m, lists)
+		}
+	}
+	b.ReportMetric(float64(pr.p.M*cells), "cells/op")
+}

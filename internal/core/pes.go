@@ -396,43 +396,7 @@ func (pr *Protocol) Identify() ([]Estimate, error) {
 	for b := range lists {
 		lists[b] = make([][]listrec.Symbol, pr.p.M)
 	}
-	zSize := uint64(1) << uint(pr.zbits)
-	par.Range(pr.p.M, workers, func(m int) {
-		tau := pr.threshold(m)
-		hist := pr.direct[m].HistogramView()
-		for b := 0; b < pr.p.B; b++ {
-			var entries []listEntry
-			for y := 0; y < pr.p.Y; y++ {
-				base := pr.cell(b, y, 0)
-				bestZ, bestV := uint64(0), math.Inf(-1)
-				for z := uint64(0); z < zSize; z++ {
-					if v := hist[base+z]; v > bestV {
-						bestV, bestZ = v, z
-					}
-				}
-				if bestV >= tau {
-					entries = append(entries, listEntry{
-						sym: listrec.Symbol{Y: y, Z: bestZ},
-						est: bestV,
-					})
-				}
-			}
-			sort.Slice(entries, func(i, j int) bool {
-				if entries[i].est != entries[j].est {
-					return entries[i].est > entries[j].est
-				}
-				return entries[i].sym.Y < entries[j].sym.Y
-			})
-			if len(entries) > pr.p.ListCap {
-				entries = entries[:pr.p.ListCap]
-			}
-			syms := make([]listrec.Symbol, len(entries))
-			for i, e := range entries {
-				syms[i] = e.sym
-			}
-			lists[b][m] = syms
-		}
-	})
+	par.Range(pr.p.M, workers, func(m int) { pr.scanLists(m, lists) })
 
 	// Step 4: decode each super-bucket concurrently. Bucket b's decoder
 	// randomness is the (Seed, b) sub-stream, so the items it returns do not
@@ -480,6 +444,57 @@ func (pr *Protocol) Identify() ([]Estimate, error) {
 	})
 	sortEstimates(out, workers)
 	return out, nil
+}
+
+// scanLists runs the steps 2-3 admission scan for coordinate m: per (b, y)
+// arg-max over z, threshold, top-cap. It reads only coordinate m's finalized
+// oracle and writes only the lists[b][m] slots, which is what lets Identify
+// parallelize the scan over coordinates with no synchronization.
+//
+// The inner arg-max is the profiled Identify scan kernel, so it is written
+// for bounds-check elimination: each (b, y) re-slices the histogram to its
+// zSize-cell row and seeds the running maximum from cell 0 rather than a
+// -Inf sentinel (histogram cells are always finite, so the first
+// iteration's compare-against-sentinel was pure overhead). len(row) pins
+// the loop bound to the slice the compiler just checked, eliding the
+// per-iteration bounds check.
+func (pr *Protocol) scanLists(m int, lists [][][]listrec.Symbol) {
+	tau := pr.threshold(m)
+	hist := pr.direct[m].HistogramView()
+	zSize := int(uint64(1) << uint(pr.zbits))
+	for b := 0; b < pr.p.B; b++ {
+		var entries []listEntry
+		for y := 0; y < pr.p.Y; y++ {
+			base := int(pr.cell(b, y, 0))
+			row := hist[base : base+zSize]
+			bestZ, bestV := 0, row[0]
+			for z := 1; z < len(row); z++ {
+				if v := row[z]; v > bestV {
+					bestV, bestZ = v, z
+				}
+			}
+			if bestV >= tau {
+				entries = append(entries, listEntry{
+					sym: listrec.Symbol{Y: y, Z: uint64(bestZ)},
+					est: bestV,
+				})
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].est != entries[j].est {
+				return entries[i].est > entries[j].est
+			}
+			return entries[i].sym.Y < entries[j].sym.Y
+		})
+		if len(entries) > pr.p.ListCap {
+			entries = entries[:pr.p.ListCap]
+		}
+		syms := make([]listrec.Symbol, len(entries))
+		for i, e := range entries {
+			syms[i] = e.sym
+		}
+		lists[b][m] = syms
+	}
 }
 
 // threshold is the step-3b admission bound for coordinate m:

@@ -56,11 +56,24 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("dist: Quantile of empty slice")
 	}
-	if q < 0 || q > 1 || math.IsNaN(q) {
-		panic("dist: Quantile fraction outside [0,1]")
-	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over a sample the caller has already sorted
+// ascending: the same linear interpolation at fractional rank q·(len-1),
+// with no copy and no allocation. It is the hot-path form behind
+// Hashtogram's per-query median/IQR; Quantile delegates to it, so the two
+// agree bit-for-bit on identical samples. It panics on an empty slice or q
+// outside [0, 1]; an unsorted input silently yields garbage.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("dist: QuantileSorted of empty slice")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("dist: QuantileSorted fraction outside [0,1]")
+	}
 	h := q * float64(len(sorted)-1)
 	lo := int(math.Floor(h))
 	hi := int(math.Ceil(h))

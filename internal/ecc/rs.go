@@ -94,8 +94,11 @@ func (c *Code) Decode(received []byte, erasures []int) ([]byte, error) {
 		return nil, fmt.Errorf("ecc: received length %d, want %d", len(received), c.n)
 	}
 	nParity := c.n - c.k
-	seen := make(map[int]bool, len(erasures))
-	dedup := erasures[:0:0]
+	// Dedup erasure positions with a stack bitmap — positions are < n <= 255,
+	// so neither the seen set nor the dedup list needs a heap allocation.
+	var seen [255]bool
+	var dedupBuf [255]int
+	dedup := dedupBuf[:0]
 	for _, e := range erasures {
 		if e < 0 || e >= c.n {
 			return nil, fmt.Errorf("ecc: erasure position %d out of range", e)
@@ -111,7 +114,8 @@ func (c *Code) Decode(received []byte, erasures []int) ([]byte, error) {
 	}
 
 	// Syndromes S_j = r(α^j), j = 0..nParity-1.
-	synd := make([]byte, nParity)
+	var syndBuf [255]byte
+	synd := syndBuf[:nParity]
 	allZero := true
 	for j := 0; j < nParity; j++ {
 		s := gf256.PolyEval(received, gf256.Exp(j))
@@ -183,8 +187,13 @@ func (c *Code) Decode(received []byte, erasures []int) ([]byte, error) {
 // modified syndromes, assuming numErasures positions are already accounted
 // for. Returns nil when the implied error count exceeds capability.
 func berlekampMassey(synd []byte, numErasures, nParity int) []byte {
-	sigma := []byte{1}
-	prev := []byte{1}
+	// σ, the previous σ and the update scratch all live in fixed stack
+	// buffers: locator degrees stay below 255, and the per-round
+	// copy-and-shift allocations were the hottest Decode allocation site.
+	var sigmaBuf, prevBuf, tmpBuf [256]byte
+	sigma := sigmaBuf[:1]
+	prev := prevBuf[:1]
+	sigma[0], prev[0] = 1, 1
 	var l, m int = 0, 1
 	b := byte(1)
 	rounds := nParity - numErasures
@@ -204,25 +213,28 @@ func berlekampMassey(synd []byte, numErasures, nParity int) []byte {
 			m++
 			continue
 		}
+		coef := gf256.Div(d, b)
 		if 2*l <= i {
-			tmp := append([]byte(nil), sigma...)
-			coef := gf256.Div(d, b)
-			shifted := make([]byte, m+len(prev))
-			for j, v := range prev {
-				shifted[m+j] = gf256.Mul(coef, v)
+			// σ <- σ + coef·x^m·prev with prev <- the pre-update σ.
+			tl := copy(tmpBuf[:], sigma)
+			for need := m + len(prev); len(sigma) < need; {
+				sigma = append(sigma, 0)
 			}
-			sigma = gf256.PolyAdd(sigma, shifted)
+			for j, v := range prev {
+				sigma[m+j] ^= gf256.Mul(coef, v)
+			}
 			l = i + 1 - l
-			prev = tmp
+			prev = prevBuf[:tl]
+			copy(prev, tmpBuf[:tl])
 			b = d
 			m = 1
 		} else {
-			coef := gf256.Div(d, b)
-			shifted := make([]byte, m+len(prev))
-			for j, v := range prev {
-				shifted[m+j] = gf256.Mul(coef, v)
+			for need := m + len(prev); len(sigma) < need; {
+				sigma = append(sigma, 0)
 			}
-			sigma = gf256.PolyAdd(sigma, shifted)
+			for j, v := range prev {
+				sigma[m+j] ^= gf256.Mul(coef, v)
+			}
 			m++
 		}
 	}
@@ -233,16 +245,58 @@ func berlekampMassey(synd []byte, numErasures, nParity int) []byte {
 	if 2*l > rounds {
 		return nil // too many errors for remaining parity budget
 	}
-	return sigma
+	return append([]byte(nil), sigma...)
 }
 
 // chienSearch returns the codeword positions pos such that
-// lambda(α^{-pos}) = 0, for pos in [0, n).
+// lambda(α^{-pos}) = 0, for pos in [0, n), using the incremental Chien
+// update: term i of λ(α^{-pos}) is λ_i·α^{-i·pos}, so stepping pos by one
+// multiplies term i by the fixed factor α^{-i}. Carrying each nonzero
+// term's discrete log turns that step into one subtract-mod-255 and one
+// exp-table lookup — against the full Horner evaluation (two log lookups,
+// an add and an exp lookup per coefficient) the textbook per-position
+// PolyEval costs. Zero coefficients drop out of the scan entirely, and the
+// search exits as soon as deg(λ) roots are found, since a degree-d
+// polynomial has at most d roots. TestChienDifferential pins the output
+// against the textbook search on the full error/erasure grid.
 func chienSearch(lambda []byte, n int) []int {
-	var positions []int
+	deg := len(lambda) - 1
+	// Gather the nonzero terms once: coefficient degree and running log.
+	// Locators have degree <= nParity < 255, so the scratch fits the stack.
+	var degs, logs [256]int32
+	k := 0
+	for i, c := range lambda {
+		if c != 0 {
+			degs[k] = int32(i % 255) // per-step log decrement, pre-reduced
+			logs[k] = int32(gf256.Log(c))
+			k++
+		}
+	}
+	if k == 0 {
+		// The zero polynomial vanishes everywhere (textbook behavior).
+		positions := make([]int, n)
+		for pos := range positions {
+			positions[pos] = pos
+		}
+		return positions
+	}
+	positions := make([]int, 0, deg)
 	for pos := 0; pos < n; pos++ {
-		if gf256.PolyEval(lambda, gf256.Exp(-pos)) == 0 {
+		var sum byte
+		for j := 0; j < k; j++ {
+			sum ^= gf256.ExpAt(int(logs[j])) // logs stay reduced to [0, 255)
+			// Advance term j to the next position: multiply by α^{-deg_j}.
+			l := logs[j] - degs[j]
+			if l < 0 {
+				l += 255
+			}
+			logs[j] = l
+		}
+		if sum == 0 {
 			positions = append(positions, pos)
+			if len(positions) == deg {
+				break
+			}
 		}
 	}
 	return positions

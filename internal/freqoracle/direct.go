@@ -24,7 +24,7 @@ type DirectHistogram struct {
 	domain    int
 	t         int
 	rand      ldp.HadamardBit
-	acc       []float64
+	acc       []int64 // running sums of ±1 reports (exact integer tallies)
 	n         int
 	hist      []float64
 	finalized bool
@@ -54,7 +54,7 @@ func NewDirectHistogram(eps float64, domain int) (*DirectHistogram, error) {
 		domain: domain,
 		t:      t,
 		rand:   ldp.NewHadamardBit(eps, t),
-		acc:    make([]float64, t),
+		acc:    make([]int64, t),
 	}, nil
 }
 
@@ -87,7 +87,7 @@ func (d *DirectHistogram) NewAccumulator() *DirectHistogram {
 		domain: d.domain,
 		t:      d.t,
 		rand:   d.rand,
-		acc:    make([]float64, d.t),
+		acc:    make([]int64, d.t),
 	}
 }
 
@@ -104,7 +104,7 @@ func (d *DirectHistogram) Absorb(rep DirectReport) error {
 	if rep.Bit != 1 && rep.Bit != -1 {
 		return fmt.Errorf("freqoracle: report bit %d invalid", rep.Bit)
 	}
-	d.acc[rep.Col] += float64(rep.Bit)
+	d.acc[rep.Col] += int64(rep.Bit)
 	d.n++
 	return nil
 }
@@ -114,7 +114,12 @@ func (d *DirectHistogram) Finalize() {
 	if d.finalized {
 		return
 	}
-	v := append([]float64(nil), d.acc...)
+	// The int64 tallies convert exactly (|cell| <= n << 2^53), so the
+	// transform input is bit-identical to the historical float64 accumulator.
+	v := make([]float64, d.t)
+	for i, a := range d.acc {
+		v[i] = float64(a)
+	}
 	hadamard.Transform(v)
 	c := d.rand.CEps()
 	for i := range v {

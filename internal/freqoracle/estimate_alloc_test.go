@@ -1,0 +1,65 @@
+package freqoracle
+
+// Allocation pin for the Estimate hot path: PES Identify step 5-6 fans
+// Estimate/EstimateWithSpread out across workers for every surviving
+// candidate, so a per-query allocation multiplies into the profile. The
+// shared rowEstimates helper plus the pooled scratch slice keep both
+// queries allocation-free after the pool warms; this test pins that.
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func finalizedHashtogramForAllocTest(t *testing.T) (*Hashtogram, [][]byte) {
+	t.Helper()
+	h, err := NewHashtogram(HashtogramParams{Eps: 4, N: 2000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(8, 9))
+	keys := make([][]byte, 32)
+	for i := range keys {
+		keys[i] = benchKernelItem(i)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := h.Absorb(h.Report(keys[i%len(keys)], i, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Finalize()
+	return h, keys
+}
+
+func TestEstimateAllocFree(t *testing.T) {
+	h, keys := finalizedHashtogramForAllocTest(t)
+	var sink float64
+	i := 0
+	// AllocsPerRun's warm-up call populates the sync.Pool scratch; after
+	// that every query must reuse it. A stray background GC can evict the
+	// pooled slice and cost one re-allocation across the whole run, so the
+	// assertion is "well under one alloc per call", not exactly zero.
+	allocs := testing.AllocsPerRun(500, func() {
+		sink += h.Estimate(keys[i%len(keys)])
+		i++
+	})
+	if allocs >= 1 {
+		t.Errorf("Estimate allocates %.2f objects per call, want 0", allocs)
+	}
+	benchSink = sink
+}
+
+func TestEstimateWithSpreadAllocFree(t *testing.T) {
+	h, keys := finalizedHashtogramForAllocTest(t)
+	var sink float64
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		est, iqr := h.EstimateWithSpread(keys[i%len(keys)])
+		sink += est + iqr
+		i++
+	})
+	if allocs >= 1 {
+		t.Errorf("EstimateWithSpread allocates %.2f objects per call, want 0", allocs)
+	}
+	benchSink = sink
+}

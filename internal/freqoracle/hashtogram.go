@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
+	"sync"
 
 	"ldphh/internal/dist"
 	"ldphh/internal/hadamard"
@@ -77,6 +79,13 @@ type HashtogramReport struct {
 }
 
 // Hashtogram is the server side of the Theorem 3.7 oracle.
+//
+// The accumulator is one flat int64 slab indexed [row*T + col]: reports are
+// ±1 tallies, so the running sums are exact integers, and keeping them in a
+// single structure-of-arrays slab makes Absorb one cache-line touch and
+// Merge one linear vector add. Magnitudes are bounded by the report count
+// (far below 2^53), so the float64 conversion at Finalize is exact and the
+// reconstruction is bit-identical to the historical float64 accumulator.
 type Hashtogram struct {
 	p         HashtogramParams
 	rowHash   hashing.KWise // user index -> row (the public partition)
@@ -84,11 +93,13 @@ type Hashtogram struct {
 	signs     []hashing.Sign
 	fold      hashing.Fingerprinter
 	rand      ldp.HadamardBit
-	acc       [][]float64 // [row][col] running sums of ±1 reports
+	acc       []int64 // [row*T + col] running sums of ±1 reports
 	rowCounts []int
 	total     int // running sum of rowCounts, kept in lockstep
 	est       [][]float64 // [row][bucket] finalized estimates
+	scale     []float64   // [row] n/rowCounts[row] (0 for empty rows), frozen at Finalize
 	finalized bool
+	scratch   sync.Pool // *[]float64 per-query row-estimate buffers (Estimate runs concurrently)
 }
 
 // NewHashtogram constructs the server and draws the public randomness from
@@ -105,13 +116,12 @@ func NewHashtogram(params HashtogramParams) (*Hashtogram, error) {
 		signs:     make([]hashing.Sign, params.Rows),
 		fold:      hashing.NewFingerprinter(rng),
 		rand:      ldp.NewHadamardBit(params.Eps, params.T),
-		acc:       make([][]float64, params.Rows),
+		acc:       make([]int64, params.Rows*params.T),
 		rowCounts: make([]int, params.Rows),
 	}
 	for r := 0; r < params.Rows; r++ {
 		h.hs[r] = hashing.NewKWise(2, rng)
 		h.signs[r] = hashing.NewSign(rng)
-		h.acc[r] = make([]float64, params.T)
 	}
 	return h, nil
 }
@@ -148,20 +158,16 @@ func (h *Hashtogram) Report(x []byte, userIdx int, rng *rand.Rand) HashtogramRep
 // end. This is the per-shard half of the concurrent ingestion path; the
 // sketch itself still serializes Absorb and Merge callers.
 func (h *Hashtogram) NewAccumulator() *Hashtogram {
-	a := &Hashtogram{
+	return &Hashtogram{
 		p:         h.p,
 		rowHash:   h.rowHash,
 		hs:        h.hs,
 		signs:     h.signs,
 		fold:      h.fold,
 		rand:      h.rand,
-		acc:       make([][]float64, h.p.Rows),
+		acc:       make([]int64, h.p.Rows*h.p.T),
 		rowCounts: make([]int, h.p.Rows),
 	}
-	for r := range a.acc {
-		a.acc[r] = make([]float64, h.p.T)
-	}
-	return a
 }
 
 // Absorb folds one report into the sketch. Not safe for concurrent use;
@@ -180,7 +186,7 @@ func (h *Hashtogram) Absorb(rep HashtogramReport) error {
 	if rep.Bit != 1 && rep.Bit != -1 {
 		return fmt.Errorf("freqoracle: report bit %d invalid", rep.Bit)
 	}
-	h.acc[rep.Row][rep.Col] += float64(rep.Bit)
+	h.acc[rep.Row*h.p.T+int(rep.Col)] += int64(rep.Bit)
 	h.rowCounts[rep.Row]++
 	h.total++
 	return nil
@@ -204,11 +210,17 @@ func (h *Hashtogram) FinalizeWorkers(workers int) {
 	h.est = make([][]float64, h.p.Rows)
 	// One slab holds every row's estimate vector: a single rows×T allocation
 	// sliced per row instead of R separate copies, so finalization does not
-	// fragment the heap and the frozen sketch stays cache-contiguous.
+	// fragment the heap and the frozen sketch stays cache-contiguous. The
+	// int64 tallies convert exactly (|cell| <= reports << 2^53), so the
+	// transform input — and therefore the frozen sketch — is bit-identical
+	// to the historical float64 accumulator.
 	slab := make([]float64, h.p.Rows*h.p.T)
 	par.Range(h.p.Rows, workers, func(r int) {
 		v := slab[r*h.p.T : (r+1)*h.p.T : (r+1)*h.p.T]
-		copy(v, h.acc[r])
+		row := h.acc[r*h.p.T : (r+1)*h.p.T]
+		for j, a := range row {
+			v[j] = float64(a)
+		}
 		hadamard.Transform(v)
 		c := h.rand.CEps()
 		for j := range v {
@@ -216,6 +228,15 @@ func (h *Hashtogram) FinalizeWorkers(workers int) {
 		}
 		h.est[r] = v
 	})
+	// Counters are frozen from here on, so the per-row n/rowCounts rescale
+	// Estimate applied per query folds into one precomputed factor per row.
+	h.scale = make([]float64, h.p.Rows)
+	n := float64(h.total)
+	for r, c := range h.rowCounts {
+		if c > 0 {
+			h.scale[r] = n / float64(c)
+		}
+	}
 	h.finalized = true
 }
 
@@ -235,42 +256,67 @@ func (h *Hashtogram) Merge(other *Hashtogram) error {
 	if h.p != other.p {
 		return fmt.Errorf("freqoracle: Merge of differently-parameterized sketches")
 	}
-	for r := range h.acc {
-		for j := range h.acc[r] {
-			h.acc[r][j] += other.acc[r][j]
-		}
-		h.rowCounts[r] += other.rowCounts[r]
+	for j, v := range other.acc {
+		h.acc[j] += v
+	}
+	for r, c := range other.rowCounts {
+		h.rowCounts[r] += c
 	}
 	h.total += other.total
 	return nil
 }
 
-// Estimate returns the estimated multiplicity of x among the absorbed
-// reports: the median over rows of the rescaled signed bucket estimates.
-// Must be called after Finalize.
-func (h *Hashtogram) Estimate(x []byte) float64 {
-	if !h.finalized {
-		panic("freqoracle: Estimate before Finalize")
-	}
-	n := h.TotalReports()
-	if n == 0 {
-		return 0
-	}
+// rowEstimates appends the rescaled signed per-row estimates for x to dst
+// and returns it sorted — the shared row loop behind Estimate and
+// EstimateWithSpread. Rows with no reports are skipped; the sort makes the
+// result directly consumable by dist.QuantileSorted, which is what keeps
+// the query allocation-free. Must only be called after Finalize.
+func (h *Hashtogram) rowEstimates(x []byte, dst []float64) []float64 {
 	key := h.fold.Fold(x)
-	vals := make([]float64, 0, h.p.Rows)
 	for r := 0; r < h.p.Rows; r++ {
 		if h.rowCounts[r] == 0 {
 			continue
 		}
 		bucket := h.hs[r].Range(key, h.p.T)
 		sign := float64(h.signs[r].Eval(key))
-		scale := float64(n) / float64(h.rowCounts[r])
-		vals = append(vals, scale*sign*h.est[r][bucket])
+		dst = append(dst, h.scale[r]*sign*h.est[r][bucket])
 	}
-	if len(vals) == 0 {
+	sort.Float64s(dst)
+	return dst
+}
+
+// getScratch leases a row-estimate buffer from the per-sketch pool.
+// Identify fans Estimate out over concurrent workers, so the scratch cannot
+// be a single reused field; a pool keeps the steady state at zero
+// allocations per query without serializing queriers.
+func (h *Hashtogram) getScratch() *[]float64 {
+	if buf, ok := h.scratch.Get().(*[]float64); ok {
+		return buf
+	}
+	buf := make([]float64, 0, h.p.Rows)
+	return &buf
+}
+
+// Estimate returns the estimated multiplicity of x among the absorbed
+// reports: the median over rows of the rescaled signed bucket estimates.
+// Must be called after Finalize. Safe for concurrent use (the frozen sketch
+// is read-only; per-query scratch comes from an internal pool).
+func (h *Hashtogram) Estimate(x []byte) float64 {
+	if !h.finalized {
+		panic("freqoracle: Estimate before Finalize")
+	}
+	if h.total == 0 {
 		return 0
 	}
-	return dist.Median(vals)
+	buf := h.getScratch()
+	vals := h.rowEstimates(x, (*buf)[:0])
+	var out float64
+	if len(vals) > 0 {
+		out = dist.QuantileSorted(vals, 0.5)
+	}
+	*buf = vals
+	h.scratch.Put(buf)
+	return out
 }
 
 // EstimateWithSpread returns the median estimate together with the
@@ -280,25 +326,18 @@ func (h *Hashtogram) EstimateWithSpread(x []byte) (est, iqr float64) {
 	if !h.finalized {
 		panic("freqoracle: EstimateWithSpread before Finalize")
 	}
-	n := h.TotalReports()
-	if n == 0 {
+	if h.total == 0 {
 		return 0, 0
 	}
-	key := h.fold.Fold(x)
-	vals := make([]float64, 0, h.p.Rows)
-	for r := 0; r < h.p.Rows; r++ {
-		if h.rowCounts[r] == 0 {
-			continue
-		}
-		bucket := h.hs[r].Range(key, h.p.T)
-		sign := float64(h.signs[r].Eval(key))
-		scale := float64(n) / float64(h.rowCounts[r])
-		vals = append(vals, scale*sign*h.est[r][bucket])
+	buf := h.getScratch()
+	vals := h.rowEstimates(x, (*buf)[:0])
+	if len(vals) > 0 {
+		est = dist.QuantileSorted(vals, 0.5)
+		iqr = dist.QuantileSorted(vals, 0.75) - dist.QuantileSorted(vals, 0.25)
 	}
-	if len(vals) == 0 {
-		return 0, 0
-	}
-	return dist.Median(vals), dist.Quantile(vals, 0.75) - dist.Quantile(vals, 0.25)
+	*buf = vals
+	h.scratch.Put(buf)
+	return est, iqr
 }
 
 // SketchBytes returns the resident size of the server state in bytes

@@ -77,13 +77,22 @@ func (h *Hashtogram) Snapshot() ([]byte, error) {
 	for _, c := range h.rowCounts {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(c))
 	}
-	for r := 0; r < h.p.Rows; r++ {
-		for _, v := range h.acc[r] {
-			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
-		}
+	// The wire format keeps float64-bits cells: the int64 tallies are exact
+	// integers far below 2^53, so the conversion is lossless and the encoded
+	// bytes are identical to the historical float64 accumulator's.
+	for _, v := range h.acc {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(float64(v)))
 	}
 	return buf, nil
 }
+
+// maxSnapshotTally bounds every deserialized counter: report tallies and
+// accumulator cells are integer-valued with magnitude at most the absorbed
+// report count, and anything beyond 2^53 could not even have been
+// accumulated exactly — so larger (or non-integral) values can only come
+// from corruption and are rejected before conversion, with no reliance on
+// signed wraparound.
+const maxSnapshotTally = uint64(1) << 53
 
 // Restore loads a snapshot produced by a sketch with identical parameters,
 // replacing this sketch's accumulated state. On error the state is
@@ -109,37 +118,61 @@ func (h *Hashtogram) Restore(buf []byte) error {
 			rows, t, h.p.Rows, h.p.T)
 	}
 	// Validation pass: every counter must be a plausible accumulator value
-	// before anything is committed. Row counts are report tallies, so they
-	// must fit a non-negative int; accumulator cells are sums of ±1 reports,
-	// so NaN or ±Inf can only come from corruption.
+	// before anything is committed. Row counts are report tallies, so each —
+	// and their sum, which becomes the total — is checked against the
+	// explicit maxSnapshotTally bound on the raw uint64 before any int
+	// conversion; accumulator cells are sums of ±1 reports, so anything
+	// non-finite, non-integral or beyond the bound can only be corruption.
 	off := 13
+	var sum uint64
 	for r := 0; r < rows; r++ {
 		c := binary.BigEndian.Uint64(buf[off:])
-		if c > math.MaxInt64 {
-			return fmt.Errorf("freqoracle: snapshot row %d count %d is negative", r, int64(c))
+		if c > maxSnapshotTally {
+			return fmt.Errorf("freqoracle: snapshot row %d count %d exceeds report-tally bound %d", r, c, maxSnapshotTally)
+		}
+		sum += c
+		if sum > maxSnapshotTally {
+			return fmt.Errorf("freqoracle: snapshot total report count exceeds bound %d", maxSnapshotTally)
 		}
 		off += 8
 	}
 	for i := 0; i < rows*t; i++ {
 		v := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("freqoracle: snapshot accumulator value %v is not finite", v)
+		if err := validTally(v); err != nil {
+			return err
 		}
 		off += 8
 	}
 	// Commit pass.
 	off = 13
-	h.total = 0
+	h.total = int(sum)
 	for r := 0; r < rows; r++ {
 		h.rowCounts[r] = int(binary.BigEndian.Uint64(buf[off:]))
-		h.total += h.rowCounts[r]
 		off += 8
 	}
-	for r := 0; r < rows; r++ {
-		for j := 0; j < t; j++ {
-			h.acc[r][j] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
-			off += 8
-		}
+	for j := range h.acc {
+		h.acc[j] = int64(math.Float64frombits(binary.BigEndian.Uint64(buf[off:])))
+		off += 8
+	}
+	return nil
+}
+
+// validTally accepts exactly the float64 values an accumulator cell can
+// hold: finite, integral, magnitude at most maxSnapshotTally. Every
+// accepted value converts to int64 and back to the identical float64 bits,
+// which is what keeps the canonical round-trip property intact across the
+// int64 accumulator layout.
+func validTally(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("freqoracle: snapshot accumulator value %v is not finite", v)
+	}
+	if v != math.Trunc(v) || v > float64(maxSnapshotTally) || v < -float64(maxSnapshotTally) {
+		return fmt.Errorf("freqoracle: snapshot accumulator value %v is not an integral report tally", v)
+	}
+	if v == 0 && math.Signbit(v) {
+		// ±1 sums can never produce -0.0, and it would re-encode as +0.0,
+		// breaking the canonical round-trip property.
+		return fmt.Errorf("freqoracle: snapshot accumulator value -0 is not canonical")
 	}
 	return nil
 }
@@ -161,7 +194,7 @@ func (d *DirectHistogram) Snapshot() ([]byte, error) {
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.eps))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(d.n))
 	for _, v := range d.acc {
-		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(float64(v)))
 	}
 	return buf, nil
 }
@@ -194,14 +227,14 @@ func (d *DirectHistogram) Restore(buf []byte) error {
 			math.Float64frombits(epsBits), d.eps)
 	}
 	n := binary.BigEndian.Uint64(buf[21:])
-	if n > math.MaxInt64 {
-		return fmt.Errorf("freqoracle: snapshot report count %d is negative", int64(n))
+	if n > maxSnapshotTally {
+		return fmt.Errorf("freqoracle: snapshot report count %d exceeds report-tally bound %d", n, maxSnapshotTally)
 	}
 	off := 29
 	for j := 0; j < t; j++ {
 		v := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("freqoracle: snapshot accumulator value %v is not finite", v)
+		if err := validTally(v); err != nil {
+			return err
 		}
 		off += 8
 	}
@@ -209,7 +242,7 @@ func (d *DirectHistogram) Restore(buf []byte) error {
 	d.n = int(n)
 	off = 29
 	for j := 0; j < t; j++ {
-		d.acc[j] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+		d.acc[j] = int64(math.Float64frombits(binary.BigEndian.Uint64(buf[off:])))
 		off += 8
 	}
 	return nil

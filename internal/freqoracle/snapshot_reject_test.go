@@ -1,0 +1,93 @@
+package freqoracle
+
+// Reject-path pins for the explicit maxSnapshotTally bounds: every counter
+// in a snapshot is checked against the 2^53 report-tally bound on the raw
+// uint64 (or raw float64 bits) before any int conversion, so corrupted
+// oversized values can never wrap or lose precision on the way into the
+// int64 accumulators. The same mutations live as named seeds under
+// testdata/fuzz/FuzzRestoreSnapshot/.
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHashtogramRestoreRejectsOversizedCounters(t *testing.T) {
+	mk := func() *Hashtogram {
+		h, err := NewHashtogram(HashtogramParams{Eps: 1, N: 100, Rows: 2, T: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	base, err := mk().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		off  int
+		bits uint64
+		want string
+	}{
+		{"rowcount beyond 2^53", 13, uint64(1)<<53 + 1, "exceeds report-tally bound"},
+		{"cell beyond 2^53", 29, math.Float64bits(float64(uint64(1) << 54)), "not an integral report tally"},
+		{"non-integral cell", 29, math.Float64bits(2.5), "not an integral report tally"},
+		{"negative-zero cell", 29, math.Float64bits(math.Copysign(0, -1)), "not canonical"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := append([]byte(nil), base...)
+			binary.BigEndian.PutUint64(snap[tc.off:], tc.bits)
+			err := mk().Restore(snap)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Restore = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	t.Run("rowcount sum beyond 2^53", func(t *testing.T) {
+		snap := append([]byte(nil), base...)
+		binary.BigEndian.PutUint64(snap[13:], uint64(1)<<53) // each row in bound,
+		binary.BigEndian.PutUint64(snap[21:], uint64(1)<<53) // their sum is not
+		err := mk().Restore(snap)
+		if err == nil || !strings.Contains(err.Error(), "total report count exceeds bound") {
+			t.Fatalf("Restore = %v, want total-report-count error", err)
+		}
+	})
+}
+
+func TestDirectRestoreRejectsOversizedCounters(t *testing.T) {
+	mk := func() *DirectHistogram {
+		d, err := NewDirectHistogram(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	base, err := mk().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		off  int
+		bits uint64
+		want string
+	}{
+		{"n beyond 2^53", 21, uint64(1)<<53 + 1, "exceeds report-tally bound"},
+		{"cell beyond 2^53", 29, math.Float64bits(float64(uint64(1) << 54)), "not an integral report tally"},
+		{"non-integral cell", 29, math.Float64bits(1.5), "not an integral report tally"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := append([]byte(nil), base...)
+			binary.BigEndian.PutUint64(snap[tc.off:], tc.bits)
+			err := mk().Restore(snap)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Restore = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

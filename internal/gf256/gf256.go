@@ -71,6 +71,14 @@ func Exp(e int) byte {
 	return expTable[e]
 }
 
+// ExpAt returns the generator raised to e for an exponent the caller has
+// already reduced to [0, 510): the doubled exp table means even the sum of
+// two reduced logs indexes it directly, with no modular reduction. It is
+// the hot-path companion of Exp for callers (like the incremental Chien
+// search in internal/ecc) that maintain reduced exponents themselves; it
+// panics via the bounds check on anything outside the table.
+func ExpAt(e int) byte { return expTable[e] }
+
 // Log returns the discrete log base 0x02 of a. a must be nonzero.
 func Log(a byte) int {
 	if a == 0 {

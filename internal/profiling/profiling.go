@@ -1,0 +1,59 @@
+// Package profiling wires the runtime/pprof file profilers into the CLI
+// tools (-cpuprofile / -memprofile on hhbench and hhload), complementing
+// the live /debug/pprof endpoints the metrics sidecar serves for running
+// aggregation servers. The artifacts are standard pprof protos:
+//
+//	go tool pprof hhbench cpu.pprof
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a stop
+// function that ends the CPU profile and, when memPath is non-empty, writes
+// a post-GC heap profile there. Either path may be empty to skip that
+// profile; with both empty the returned stop is a cheap no-op, so callers
+// can wire it unconditionally. The stop function is not idempotent — call
+// it exactly once, after the workload being measured.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// An explicit GC first so the heap profile reflects live objects,
+			// not garbage awaiting collection.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -121,6 +122,13 @@ func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error, st
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{protocol=%q} %g\n", name, help, name, name, p, v)
 	}
+	// counterF is the float-valued counter flavor for cumulative quantities
+	// that are not integer event counts (e.g. summed wall time). Prometheus
+	// naming requires every `_total` series to be TYPE counter — and only
+	// those — which TestMetricsTextLint enforces over the whole exposition.
+	counterF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s{protocol=%q} %g\n", name, help, name, name, p, v)
+	}
 	gauge("ldphh_up", "1 while the listener accepts connections, 0 after permanent death.", float64(up))
 	gauge("ldphh_uptime_seconds", "Seconds since the server started.", m.uptime())
 	gauge("ldphh_draining", "1 while a graceful shutdown drains in-flight connections.", b2f(m.draining.Load()))
@@ -138,7 +146,7 @@ func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error, st
 
 	counter("ldphh_identify_total", "Identify commands served.", m.identifies.Load())
 	counter("ldphh_identify_errors_total", "Identify commands that failed (including client-disconnect cancellations).", m.identifyErrors.Load())
-	gauge("ldphh_identify_seconds_total", "Cumulative wall time spent in Identify.", float64(m.identifyNanos.Load())/1e9)
+	counterF("ldphh_identify_seconds_total", "Cumulative wall time spent in Identify.", float64(m.identifyNanos.Load())/1e9)
 	gauge("ldphh_identify_last_seconds", "Wall time of the most recent Identify.", float64(m.lastIdentifyNanos.Load())/1e9)
 
 	counter("ldphh_topk_queries_total", "Continuous top-k queries answered over the wire.", m.topkQueries.Load())
@@ -201,6 +209,17 @@ func startMetricsServer(addr string, s *Server) (*metricsServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Live profiling rides the operability sidecar: the metrics address is
+	// already the non-ingest control plane, so `go tool pprof
+	// http://<metrics-addr>/debug/pprof/profile` works against a running
+	// aggregation server with no extra flag or port. Registered explicitly —
+	// the sidecar uses its own mux, so the net/http/pprof init-time
+	// DefaultServeMux registrations would not be reachable.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ms := &metricsServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go ms.srv.Serve(ln) //nolint:errcheck // exits on Close
 	return ms, nil

@@ -1,0 +1,148 @@
+package ldphh_test
+
+// Kernel equivalence suite: Identify is pinned bit-for-bit across every
+// registered protocol kind and across worker counts, against golden SHA-256
+// digests committed in testdata/kernel_golden.json. The goldens were
+// generated from the float64 accumulator kernels, so the int64
+// structure-of-arrays rewrite (and any future kernel work) must reproduce
+// the exact same output bits — not just the same heavy-hitter set.
+//
+// Regenerate after an intentional output change (e.g. new randomness
+// layout) with:
+//
+//	go test -run TestKernelEquivalence -update .
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"ldphh"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/kernel_golden.json from the current kernels")
+
+const kernelGoldenPath = "testdata/kernel_golden.json"
+
+// kernelRound runs one deterministic in-process round for the kind at the
+// given Identify worker bound and returns a digest of the full ordered
+// (item, count-bits) output.
+func kernelRound(t *testing.T, kind ldphh.Kind, workers int) string {
+	t.Helper()
+	// The population-splitting baselines need a larger round for anything to
+	// clear their sqrt(n·L)-shaped admission floor (cf. TestNewAllKinds).
+	n := 6000
+	if kind == ldphh.KindBitstogram || kind == ldphh.KindTreeHist {
+		n = 20000
+	}
+	opts := []ldphh.Option{
+		ldphh.WithEps(4), ldphh.WithN(n), ldphh.WithItemBytes(2),
+		ldphh.WithSeed(99), ldphh.WithDomainSize(64), ldphh.WithWorkers(workers),
+	}
+	if kind == ldphh.KindHashtogram {
+		cands := make([][]byte, 40)
+		for i := range cands {
+			cands[i] = ordinalItem(uint64(i), 2)
+		}
+		opts = append(opts, ldphh.WithCandidates(cands))
+	}
+	h, err := ldphh.New(kind, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same deterministic population TestNewAllKinds plants: one 40%
+	// heavy item, one 30% item, a light tail.
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < n; i++ {
+		var item []byte
+		switch {
+		case i%10 < 4:
+			item = ordinalItem(1, 2)
+		case i%10 < 7:
+			item = ordinalItem(2, 2)
+		default:
+			item = ordinalItem(uint64(3+i%32), 2)
+		}
+		wr, err := h.Report(item, i, rng)
+		if err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+		if err := h.Absorb(wr); err != nil {
+			t.Fatalf("absorb %d: %v", i, err)
+		}
+	}
+	est, err := h.Identify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) == 0 {
+		t.Fatalf("%v: Identify returned no estimates", kind)
+	}
+	dig := sha256.New()
+	for _, e := range est {
+		fmt.Fprintf(dig, "%x:%016x\n", e.Item, math.Float64bits(e.Count))
+	}
+	return hex.EncodeToString(dig.Sum(nil))
+}
+
+// TestKernelEquivalence checks all three contracts at once: Identify output
+// is identical at Workers ∈ {1, 4, GOMAXPROCS} for every kind, and equal to
+// the committed pre-rewrite golden digest.
+func TestKernelEquivalence(t *testing.T) {
+	golden := map[string]string{}
+	if !*updateGolden {
+		raw, err := os.ReadFile(kernelGoldenPath)
+		if err != nil {
+			t.Fatalf("read goldens (regenerate with -update): %v", err)
+		}
+		if err := json.Unmarshal(raw, &golden); err != nil {
+			t.Fatalf("parse goldens: %v", err)
+		}
+	}
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	got := map[string]string{}
+	for _, kind := range ldphh.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			base := kernelRound(t, kind, workerSet[0])
+			for _, w := range workerSet[1:] {
+				if d := kernelRound(t, kind, w); d != base {
+					t.Errorf("Identify digest at Workers=%d differs from Workers=%d: %s != %s",
+						w, workerSet[0], d, base)
+				}
+			}
+			got[kind.String()] = base
+			if !*updateGolden {
+				want, ok := golden[kind.String()]
+				if !ok {
+					t.Fatalf("no golden digest for %v (regenerate with -update)", kind)
+				}
+				if base != want {
+					t.Errorf("Identify digest %s, want golden %s — kernel output changed bits", base, want)
+				}
+			}
+		})
+	}
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(kernelGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(kernelGoldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", kernelGoldenPath)
+	}
+}
