@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -121,6 +122,11 @@ func newProtocol(cfg benchConfig, kind ldphh.Kind, ds *workload.Dataset) (ldphh.
 		if cfg.Windows > 0 {
 			opts = append(opts, ldphh.WithWindows(cfg.Windows))
 		}
+		if cfg.TopK > 0 {
+			opts = append(opts, ldphh.WithTopK(cfg.TopK))
+		}
+	}
+	if kind == ldphh.KindPEM || kind == ldphh.KindFedTrie {
 		if cfg.TopK > 0 {
 			opts = append(opts, ldphh.WithTopK(cfg.TopK))
 		}
@@ -337,6 +343,133 @@ func runAll(cfg benchConfig) ([]*benchResult, error) {
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// openResult is one open-domain discovery row: scored by recall against
+// the true top-k with no candidate list handed to any protocol.
+type openResult struct {
+	Protocol     string  `json:"protocol"`
+	N            int     `json:"n"`
+	Eps          float64 `json:"eps"`
+	ItemBytes    int     `json:"item_bytes"`
+	K            int     `json:"k"`
+	RecallAtK    float64 `json:"recall_at_k"`
+	Rounds       int     `json:"rounds"`
+	BytesPerUser int     `json:"bytes_per_user"`
+	OutputSize   int     `json:"output_size"`
+	WallMS       int64   `json:"wall_ms"`
+}
+
+// openDomainProtocols is the -opendomain sweep: the two interactive
+// discovery kinds against the single-round open-domain machinery from the
+// source paper's comparison.
+var openDomainProtocols = []string{"pem", "fedtrie", "treehist", "pes"}
+
+// runOpenDomain sweeps the open-domain protocols over one zipf population,
+// scoring each by recall@k against exact ground truth. Interactive kinds
+// are driven round by round in process (each user reports once, in their
+// group's round, with the deterministic per-(round, user) generator);
+// single-round kinds take the usual one-shot path. Every user sends exactly
+// one report either way, so bytes_per_user is the payload size.
+func runOpenDomain(cfg benchConfig) ([]*openResult, error) {
+	k := cfg.TopK
+	if k == 0 {
+		k = 8
+	}
+	ctx := context.Background()
+	var out []*openResult
+	for _, name := range openDomainProtocols {
+		kind, err := ldphh.ParseKind(name)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Protocol = name
+		c.Workload = "zipf"
+		c.TopK = k
+		rng := rand.New(rand.NewPCG(c.Seed, 2))
+		ds, err := workload.Zipf(workload.Domain{ItemBytes: c.ItemBytes}, c.N, c.Support, c.ZipfS, rng)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		// One instance serves both halves in process; for interactive kinds
+		// that also keeps device and server round state trivially in sync.
+		h, err := newProtocol(c, kind, ds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		start := time.Now()
+		rounds := 1
+		if it, ok := ldphh.AsInteractive(h); ok {
+			rounds = 0
+			for rs := it.RoundState(); !rs.Done; rs = it.RoundState() {
+				for i, x := range ds.Items {
+					wr, err := h.Report(x, i, ldphh.RoundRand(c.Seed, rs.Round, i))
+					if errors.Is(err, ldphh.ErrNotInRound) {
+						continue
+					}
+					if err != nil {
+						return nil, fmt.Errorf("%s report %d: %w", name, i, err)
+					}
+					if err := h.Absorb(wr); err != nil {
+						return nil, fmt.Errorf("%s absorb %d: %w", name, i, err)
+					}
+				}
+				if _, err := it.AdvanceRound(); err != nil {
+					return nil, fmt.Errorf("%s advance: %w", name, err)
+				}
+				rounds++
+			}
+		} else {
+			urng := rand.New(rand.NewPCG(c.Seed, 3))
+			for i, x := range ds.Items {
+				wr, err := h.Report(x, i, urng)
+				if err != nil {
+					return nil, fmt.Errorf("%s report %d: %w", name, i, err)
+				}
+				if err := h.Absorb(wr); err != nil {
+					return nil, fmt.Errorf("%s absorb %d: %w", name, i, err)
+				}
+			}
+		}
+		est, err := h.Identify(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s identify: %w", name, err)
+		}
+		elapsed := time.Since(start)
+
+		have := make(map[string]bool, len(est))
+		for _, e := range est {
+			have[string(e.Item)] = true
+		}
+		hits := 0
+		for _, tc := range ds.TopK(k) {
+			if have[string(tc.Item)] {
+				hits++
+			}
+		}
+		out = append(out, &openResult{
+			Protocol: name, N: c.N, Eps: c.Eps, ItemBytes: c.ItemBytes,
+			K: k, RecallAtK: float64(hits) / float64(k), Rounds: rounds,
+			BytesPerUser: h.BytesPerReport(), OutputSize: len(est),
+			WallMS: elapsed.Milliseconds(),
+		})
+	}
+	return out, nil
+}
+
+// writeJSONOpen emits the open-domain sweep as one indented JSON array
+// (the BENCH_opendomain.json artifact shape).
+func writeJSONOpen(w io.Writer, res []*openResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// writeTextOpen emits the human-readable open-domain row.
+func writeTextOpen(w io.Writer, res *openResult) {
+	fmt.Fprintf(w, "protocol=%-8s recall@%d=%.2f rounds=%d bytes/user=%d output=%d wall=%dms\n",
+		res.Protocol, res.K, res.RecallAtK, res.Rounds, res.BytesPerUser, res.OutputSize, res.WallMS)
 }
 
 // writeJSON emits one result as an indented JSON object.

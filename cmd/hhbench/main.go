@@ -6,10 +6,14 @@
 //	hhbench -n 60000 -eps 4 -itembytes 4 -protocol pes -workload zipf
 //	hhbench -protocol treehist -transport tcp -itembytes 2
 //	hhbench -protocol all -json -out BENCH_table1.json
+//	hhbench -opendomain -json -out BENCH_opendomain.json
 //
 // -protocol all sweeps the Table 1 comparison (pes, smalldomain,
 // bitstogram, treehist, bassilysmith, streamhg) over the zipf workload and
 // emits a JSON array — the per-protocol throughput artifact CI accumulates.
+// -opendomain sweeps the multi-round discovery kinds (pem, fedtrie) against
+// treehist and pes on a zipf population with no candidate list, scoring
+// recall@k against exact ground truth (the BENCH_opendomain.json artifact).
 package main
 
 import (
@@ -36,7 +40,8 @@ var (
 	fleets    = flag.Int("fleets", 4, "concurrent sender connections (tcp transport)")
 	wire      = flag.String("wire", "batch", "tcp wire framing: batch (pipelined mega-batches) | stream (legacy per-frame)")
 	windows   = flag.Int("windows", 0, "per-user budget split w (streamhg; 0 = facade default)")
-	topk      = flag.Int("topk", 0, "streaming answer size (streamhg; 0 = facade default)")
+	topk      = flag.Int("topk", 0, "answer size: streaming top-k (streamhg) or discovery target k (pem/fedtrie, -opendomain; 0 = default)")
+	openDom   = flag.Bool("opendomain", false, "sweep the open-domain discovery comparison (pem, fedtrie, treehist, pes) with no candidate list")
 	jsonOut   = flag.Bool("json", false, "emit JSON instead of text")
 	outPath   = flag.String("out", "", "also write the (JSON) result to this file")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -63,6 +68,18 @@ func main() {
 		Wire:      *wire,
 		Windows:   *windows,
 		TopK:      *topk,
+	}
+	if *openDom {
+		results, err := runOpenDomain(cfg)
+		fatal(err)
+		fatal(stopProf())
+		fatal(emit(func(w io.Writer) error { return writeJSONOpen(w, results) }))
+		if !*jsonOut {
+			for _, res := range results {
+				writeTextOpen(os.Stdout, res)
+			}
+		}
+		return
 	}
 	if *proto == "all" {
 		results, err := runAll(cfg)

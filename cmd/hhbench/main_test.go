@@ -194,6 +194,56 @@ func TestRunAllEmitsJSONArray(t *testing.T) {
 	}
 }
 
+// TestRunOpenDomain drives the -opendomain sweep at a small size and pins
+// the BENCH_opendomain.json artifact shape plus its headline claim: the
+// interactive kinds discover at least as much of the true top-k as the
+// single-round baselines with no candidate list anywhere.
+func TestRunOpenDomain(t *testing.T) {
+	results, err := runOpenDomain(benchConfig{
+		N: 12000, Eps: 4, ItemBytes: 2, ZipfS: 1.4, Support: 64, Seed: 1, Y: 16, TopK: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(openDomainProtocols) {
+		t.Fatalf("%d results, want %d", len(results), len(openDomainProtocols))
+	}
+	var buf bytes.Buffer
+	if err := writeJSONOpen(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Protocol     string  `json:"protocol"`
+		K            int     `json:"k"`
+		RecallAtK    float64 `json:"recall_at_k"`
+		Rounds       int     `json:"rounds"`
+		BytesPerUser int     `json:"bytes_per_user"`
+		WallMS       int64   `json:"wall_ms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	byName := map[string]float64{}
+	for i, row := range parsed {
+		if row.Protocol != openDomainProtocols[i] {
+			t.Errorf("row %d protocol %q, want %q", i, row.Protocol, openDomainProtocols[i])
+		}
+		if row.K != 8 || row.RecallAtK < 0 || row.RecallAtK > 1 || row.BytesPerUser <= 0 {
+			t.Errorf("%s: degenerate row %+v", row.Protocol, row)
+		}
+		if interactive := row.Protocol == "pem" || row.Protocol == "fedtrie"; interactive != (row.Rounds > 1) {
+			t.Errorf("%s: rounds = %d", row.Protocol, row.Rounds)
+		}
+		byName[row.Protocol] = row.RecallAtK
+	}
+	if byName["pem"] == 0 {
+		t.Error("pem discovered nothing on the open domain")
+	}
+	if byName["pem"] < byName["treehist"] {
+		t.Errorf("pem recall %.2f below treehist %.2f", byName["pem"], byName["treehist"])
+	}
+}
+
 // TestWriteText pins the human-readable report's load-bearing lines.
 func TestWriteText(t *testing.T) {
 	res, err := runBench(benchConfig{

@@ -35,6 +35,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -64,7 +65,7 @@ var (
 		"run a two-tier aggregation tree: leaves ingest, the root merges their snapshots (pes only)")
 	leaves    = flag.Int("leaves", 4, "leaf aggregator count in -tree mode")
 	protoName = flag.String("protocol", "pes",
-		"registered protocol to deploy (pes | smalldomain | bitstogram | treehist | bassilysmith | ...)")
+		"registered protocol to deploy (pes | smalldomain | bitstogram | treehist | bassilysmith | pem | fedtrie | ...); interactive kinds run the multi-round discovery loop")
 	ckptDir = flag.String("checkpoint-dir", "",
 		"durable checkpoint directory for the aggregation server (tree mode: the root); restart with the same flags to recover")
 	ckptEvery = flag.Int("checkpoint-every", 0,
@@ -253,6 +254,11 @@ func runGeneric(name string) {
 		fmt.Printf("metrics sidecar on http://%s/metrics\n", srv.MetricsAddr())
 	}
 
+	if _, ok := ldphh.AsInteractive(agg); ok {
+		runInteractive(device, srv, item, mk)
+		return
+	}
+
 	// Device phase: each fleet derives its batch concurrently (Report never
 	// mutates shared state; randomness is per-goroutine).
 	batches := make([][]ldphh.WireReport, *fleets)
@@ -317,6 +323,98 @@ func runGeneric(name string) {
 	fatal(err)
 	assertSameEstimates(est, want)
 	fmt.Printf("network identification matches the in-process replay (%d items)\n", len(est))
+}
+
+// runInteractive drives a multi-round discovery (pem, fedtrie) against the
+// generic server: each round the driver fetches the candidate broadcast
+// over the wire, installs it on the device fleet, the fleet's assigned user
+// group reports concurrently, and AdvanceRound commits the transition
+// server-side. The final identification is verified bit-identical against
+// an in-process replay of the same round batches.
+func runInteractive(device ldphh.Protocol, srv *ldphh.Server, item func(int) []byte, mk func() ldphh.Protocol) {
+	ctx := context.Background()
+	devIt, ok := ldphh.AsInteractive(device)
+	if !ok {
+		fatal(fmt.Errorf("device instance lost the Interactive capability"))
+	}
+	rs, err := ldphh.RequestRound(srv.Addr())
+	fatal(err)
+	start := time.Now()
+	var roundBatches [][]ldphh.WireReport
+	for !rs.Done {
+		fatal(devIt.SetRoundState(rs))
+		fmt.Printf("round %d/%d: %d candidate prefixes of %d bits\n",
+			rs.Round+1, rs.Rounds, len(rs.Candidates), rs.PrefixBits)
+		// Fleet phase: each fleet computes its slice of the round's group
+		// concurrently; off-group users are skipped (they report in their
+		// own round, which is what caps the per-user budget at ε).
+		batches := make([][]ldphh.WireReport, *fleets)
+		var wg sync.WaitGroup
+		errCh := make(chan error, *fleets)
+		for f := 0; f < *fleets; f++ {
+			wg.Add(1)
+			go func(f, round int) {
+				defer wg.Done()
+				var batch []ldphh.WireReport
+				for i := f; i < *n; i += *fleets {
+					wr, err := device.Report(item(i), i, ldphh.RoundRand(*seed, round, i))
+					if errors.Is(err, ldphh.ErrNotInRound) {
+						continue
+					}
+					if err != nil {
+						errCh <- err
+						return
+					}
+					batch = append(batch, wr)
+				}
+				batches[f] = batch
+			}(f, rs.Round)
+		}
+		wg.Wait()
+		drain(errCh)
+		var all []ldphh.WireReport
+		for _, b := range batches {
+			all = append(all, b...)
+		}
+		fatal(ldphh.SendWireReports(ctx, srv.Addr(), all))
+		roundBatches = append(roundBatches, all)
+		rs, err = ldphh.AdvanceRound(srv.Addr())
+		fatal(err)
+	}
+	fmt.Printf("discovery finished: %d rounds, %d reports in %v\n",
+		len(roundBatches), srv.Absorbed(), time.Since(start).Round(time.Millisecond))
+
+	est, err := ldphh.RequestIdentifyContext(ctx, srv.Addr())
+	fatal(err)
+	fmt.Printf("identified %d heavy hitters:\n", len(est))
+	for i, e := range est {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %x  est=%8.0f\n", e.Item, e.Count)
+	}
+
+	if srv.Metrics().RecoveredReports() > 0 {
+		return
+	}
+	// Replay: round transitions are deterministic, so feeding the same
+	// round batches and advancing reproduces the same broadcasts — and must
+	// reproduce the same estimates.
+	replay := mk()
+	rit, ok := ldphh.AsInteractive(replay)
+	if !ok {
+		fatal(fmt.Errorf("replay instance lost the Interactive capability"))
+	}
+	for _, batch := range roundBatches {
+		fatal(replay.AbsorbBatch(batch))
+		if _, err := rit.AdvanceRound(); err != nil {
+			fatal(err)
+		}
+	}
+	want, err := replay.Identify(ctx)
+	fatal(err)
+	assertSameEstimates(est, want)
+	fmt.Printf("network discovery matches the in-process replay (%d items)\n", len(est))
 }
 
 // deliver streams every fleet batch concurrently, fleet f to addrFor(f),

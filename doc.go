@@ -24,8 +24,21 @@
 //   - Unified protocol surface — every protocol above satisfies one
 //     Reporter/Aggregator interface pair over self-describing wire-codable
 //     reports (internal/proto): ldphh.New(kind, ...Option) constructs any
-//     of them, AsMergeable detects snapshot/merge support, and the
-//     estimates all flow through the single ldphh.Estimate type.
+//     of them — PrivateExpanderSketch, KindSmallDomain, KindHashtogram,
+//     KindDirectHistogram, KindTreeHist, KindBitstogram, KindBassilySmith,
+//     KindStreamHG, KindPEM, KindFedTrie — AsMergeable detects
+//     snapshot/merge support,
+//     AsInteractive detects multi-round discovery, and the estimates all
+//     flow through the single ldphh.Estimate type.
+//   - Open-domain discovery — KindPEM (prefix extension, Wang et al.
+//     arXiv:1708.06674) and KindFedTrie (federated trie, Zhu et al.
+//     arXiv:1902.08534) discover heavy strings with no candidate list:
+//     the server grows a candidate-prefix set over interactive rounds
+//     (RoundState/SetRoundState/AdvanceRound, with RequestRound and
+//     AdvanceRound network clients over the same TCP preamble), users
+//     partition into per-round groups so each reports exactly once at
+//     full ε, and RoundRand gives every (round, user) pair its own
+//     deterministic sub-stream. See DESIGN.md §10 and examples/opendomain.
 //   - Transport — one generic TCP aggregation server any Aggregator plugs
 //     into, negotiating the protocol ID at connection time, with sharded
 //     concurrent ingestion: each connection absorbs through windowed

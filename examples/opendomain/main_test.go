@@ -1,0 +1,37 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke runs both interactive kinds end to end over TCP at a CI
+// size: the round loop must terminate, every user must report exactly
+// once, and the dominant true item must be discovered with no candidate
+// list anywhere. CI runs this as the interactive smoke gate under -race.
+func TestRunSmoke(t *testing.T) {
+	for _, mode := range []string{"pem", "fedtrie"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := config{
+				mode: mode, n: 20000, eps: 4, k: 8, itemBytes: 2,
+				support: 64, zipfS: 1.5, seed: 42, out: io.Discard,
+			}
+			sum, err := run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.rounds < 2 {
+				t.Fatalf("discovery took %d rounds — not an interactive run", sum.rounds)
+			}
+			if sum.reports != cfg.n {
+				t.Fatalf("%d reports for %d users — the group partition must cover every user exactly once", sum.reports, cfg.n)
+			}
+			if !sum.topFound {
+				t.Error("dominant true item missing from the discovered set")
+			}
+			if sum.recallK < 0.3 {
+				t.Errorf("true top-%d recall %.0f%% — discovery is not tracking the distribution", cfg.k, 100*sum.recallK)
+			}
+		})
+	}
+}

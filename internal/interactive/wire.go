@@ -1,0 +1,235 @@
+package interactive
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"ldphh/internal/proto"
+)
+
+// Wire payload: [round u8][Hadamard column u32 BE][bit u8 ∈ {0,1}]. The
+// round stamp makes every report self-describing about which candidate set
+// its column indexes — the aggregator rejects reports for any round but the
+// open one instead of silently folding them into the wrong tally. Six bytes
+// per report regardless of domain size or round count.
+const PayloadBytes = 6
+
+const wireVersion = 1
+
+func init() {
+	validate := func(p []byte) error {
+		// Round and column ranges depend on the aggregator's live round
+		// state, so they are rejected at absorption; structurally the bit
+		// byte must be the 0/1 encoding of a ±1 Hadamard report.
+		if len(p) != PayloadBytes {
+			return fmt.Errorf("interactive: payload length %d, want %d", len(p), PayloadBytes)
+		}
+		if p[5] > 1 {
+			return fmt.Errorf("interactive: report bit byte %d, want 0 or 1", p[5])
+		}
+		return nil
+	}
+	proto.Register(proto.Codec{
+		ID: proto.IDPEM, Name: "pem", Version: wireVersion,
+		PayloadBytes: PayloadBytes, Validate: validate,
+	})
+	proto.Register(proto.Codec{
+		ID: proto.IDFedTrie, Name: "fedtrie", Version: wireVersion,
+		PayloadBytes: PayloadBytes, Validate: validate,
+	})
+}
+
+// Wire adapts the round engine to the unified proto.Reporter/Aggregator
+// surface, so both interactive kinds inherit the generic TCP server,
+// mega-batch ingest, snapshot/merge fan-in, durable checkpoints and the
+// metrics sidecar unchanged — plus the Round/AdvanceRound wire commands
+// through proto.Interactive. The adapter serializes access with its own
+// mutex: the engine is not safe for concurrent use, and Report reads the
+// live round state a concurrent AdvanceRound would swap.
+type Wire struct {
+	mu  sync.Mutex
+	eng *Engine
+	id  byte
+}
+
+// NewWire constructs the adapter around a fresh round engine; the protocol
+// ID follows Params.Mode.
+func NewWire(p Params) (*Wire, error) {
+	eng, err := NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	id := proto.IDPEM
+	if p.Mode == ModeFedTrie {
+		id = proto.IDFedTrie
+	}
+	return &Wire{eng: eng, id: id}, nil
+}
+
+// Engine exposes the wrapped engine (for in-process inspection; callers
+// must not mutate it concurrently with the adapter).
+func (w *Wire) Engine() *Engine { return w.eng }
+
+// ProtocolID returns proto.IDPEM or proto.IDFedTrie.
+func (w *Wire) ProtocolID() byte { return w.id }
+
+// Report computes user userIdx's message for the open round. Users whose
+// group is not assigned to the open round get ErrNotInRound (they report
+// in their own round); install the server's broadcast with SetRoundState
+// first so device and server agree on the candidate set.
+func (w *Wire) Report(item []byte, userIdx int, rng *rand.Rand) (proto.WireReport, error) {
+	w.mu.Lock()
+	rep, err := w.eng.Report(item, userIdx, rng)
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	dst := proto.AppendHeader(make([]byte, 0, 2+PayloadBytes), w.id, wireVersion)
+	dst = append(dst, byte(rep.Round))
+	dst = binary.BigEndian.AppendUint32(dst, rep.Col)
+	bit := byte(0)
+	if rep.Bit == 1 {
+		bit = 1
+	}
+	return proto.WireReport(append(dst, bit)), nil
+}
+
+// decode structurally validates one wire report; round and column range
+// checks happen at absorption against the live round state.
+func (w *Wire) decode(wr proto.WireReport) (RoundReport, error) {
+	if err := proto.CheckHeader(wr, w.id); err != nil {
+		return RoundReport{}, err
+	}
+	p := wr.Payload()
+	if p[5] > 1 {
+		return RoundReport{}, fmt.Errorf("interactive: report bit byte %d, want 0 or 1", p[5])
+	}
+	bit := int8(-1)
+	if p[5] == 1 {
+		bit = 1
+	}
+	return RoundReport{Round: int(p[0]), Col: binary.BigEndian.Uint32(p[1:]), Bit: bit}, nil
+}
+
+// Absorb folds one wire report into the open round.
+func (w *Wire) Absorb(wr proto.WireReport) error {
+	rep, err := w.decode(wr)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.Absorb(rep)
+}
+
+// AbsorbBatch folds a batch under one lock acquisition. Decoding and
+// validation run before the lock; the valid prefix is absorbed and the
+// first error returned.
+func (w *Wire) AbsorbBatch(wrs []proto.WireReport) error {
+	reps := make([]RoundReport, 0, len(wrs))
+	var decodeErr error
+	for _, wr := range wrs {
+		rep, err := w.decode(wr)
+		if err != nil {
+			decodeErr = err
+			break
+		}
+		reps = append(reps, rep)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, rep := range reps {
+		if err := w.eng.Absorb(rep); err != nil {
+			return err
+		}
+	}
+	return decodeErr
+}
+
+// Identify returns the final population-scaled estimates; it errors until
+// the final round has committed (drive rounds with AdvanceRound).
+func (w *Wire) Identify(ctx context.Context) ([]proto.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.Identify()
+}
+
+// RoundState returns the open round's broadcast state (proto.Interactive).
+func (w *Wire) RoundState() proto.RoundState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.RoundState()
+}
+
+// SetRoundState installs a server broadcast (proto.Interactive).
+func (w *Wire) SetRoundState(rs proto.RoundState) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.SetRoundState(rs)
+}
+
+// AdvanceRound finalizes the open round and opens the next one
+// (proto.Interactive).
+func (w *Wire) AdvanceRound() (proto.RoundState, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.AdvanceRound()
+}
+
+// TotalReports returns the report count absorbed across all rounds.
+func (w *Wire) TotalReports() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.TotalReports()
+}
+
+// SketchBytes returns resident engine memory.
+func (w *Wire) SketchBytes() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.SketchBytes()
+}
+
+// BytesPerReport returns the payload size of one user message.
+func (w *Wire) BytesPerReport() int { return PayloadBytes }
+
+// MinRecoverableFrequency reports the recovery floor (proto.Calibrated).
+func (w *Wire) MinRecoverableFrequency() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.MinRecoverableFrequency()
+}
+
+// Fingerprint states the parameter digest snapshots and checkpoints are
+// pinned to (proto.Fingerprinted).
+func (w *Wire) Fingerprint() uint64 {
+	return w.eng.Fingerprint()
+}
+
+// Snapshot serializes the engine's round position (proto.Mergeable).
+func (w *Wire) Snapshot() ([]byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.Snapshot()
+}
+
+// Restore rehydrates a checkpoint (proto.Mergeable).
+func (w *Wire) Restore(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.Restore(buf)
+}
+
+// MergeSnapshot folds a sibling's open-round tally into this one
+// (proto.Mergeable).
+func (w *Wire) MergeSnapshot(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.eng.MergeSnapshot(buf)
+}

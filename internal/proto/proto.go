@@ -40,6 +40,8 @@ const (
 	IDTreeHist              byte = 0x06 // prefix-tree protocol of [3]
 	IDBassilySmith          byte = 0x07 // Bassily–Smith STOC 2015 style [4]
 	IDStreamHG              byte = 0x08 // streaming HeavyGuardian top-k (continuous query)
+	IDPEM                   byte = 0x09 // multi-round prefix extension (Wang et al., arXiv 1708.06674)
+	IDFedTrie               byte = 0x0A // federated trie discovery (Zhu et al., arXiv 1902.08534)
 )
 
 // Estimate is one identified item with its estimated multiplicity. It is the

@@ -477,6 +477,101 @@ func (c *IngestConn) QueryTopK(ctx context.Context, k int) ([]proto.Estimate, er
 	return est, nil
 }
 
+// readRoundState parses the round-command reply: a u32 length prefix plus
+// an encoded proto.RoundState, with the textual "ERR ...\n" failure reply
+// relayed as an error (the length cap keeps the two unambiguous).
+func readRoundState(br *bufio.Reader, op string) (proto.RoundState, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return proto.RoundState{}, fmt.Errorf("protocol: reading %s reply: %w", op, err)
+	}
+	if string(hdr[:]) == "ERR " {
+		msg, _ := br.ReadString('\n')
+		return proto.RoundState{}, fmt.Errorf("protocol: server rejected %s: %s", op, strings.TrimSpace(msg))
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxSnapshotBytes {
+		return proto.RoundState{}, fmt.Errorf("protocol: implausible round state length %d", n)
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return proto.RoundState{}, fmt.Errorf("protocol: reading %s body: %w", op, err)
+	}
+	return proto.DecodeRoundState(blob)
+}
+
+// requestRound issues one round command (read or advance) over a fresh
+// connection.
+func requestRound(ctx context.Context, addr string, cmd byte, op string) (proto.RoundState, error) {
+	var rs proto.RoundState
+	err := withConn(ctx, addr, func(conn net.Conn) error {
+		if err := writePreamble(conn, proto.IDWildcard, cmd); err != nil {
+			return err
+		}
+		var err error
+		rs, err = readRoundState(bufio.NewReader(conn), op)
+		return err
+	})
+	return rs, err
+}
+
+// RequestRound asks an interactive aggregation server for the open round's
+// broadcast state — the candidate-prefix set the round's user group reports
+// against. Servers for single-round protocols reject the command with an
+// ERR reply (context-free legacy form).
+func RequestRound(addr string) (proto.RoundState, error) {
+	return RequestRoundContext(context.Background(), addr)
+}
+
+// RequestRoundContext is RequestRound with deadline/cancellation
+// propagation.
+func RequestRoundContext(ctx context.Context, addr string) (proto.RoundState, error) {
+	return requestRound(ctx, addr, cmdRound, "round")
+}
+
+// AdvanceRound asks an interactive aggregation server to finalize the open
+// round and open the next one, returning the new broadcast state (Done once
+// the final round committed). When the server checkpoints, the transition
+// is durable before this reply arrives (context-free legacy form).
+func AdvanceRound(addr string) (proto.RoundState, error) {
+	return AdvanceRoundContext(context.Background(), addr)
+}
+
+// AdvanceRoundContext is AdvanceRound with deadline/cancellation
+// propagation.
+func AdvanceRoundContext(ctx context.Context, addr string) (proto.RoundState, error) {
+	return requestRound(ctx, addr, cmdAdvanceRound, "round advance")
+}
+
+// Round reads the open round's broadcast state over the session's
+// persistent connection — pipelined, so a round driver interleaves state
+// reads, report batches and advances without re-dialing.
+func (c *IngestConn) Round(ctx context.Context) (proto.RoundState, error) {
+	return c.roundCmd(ctx, cmdRound, "round")
+}
+
+// AdvanceRound finalizes the open round over the session's persistent
+// connection and returns the new broadcast state.
+func (c *IngestConn) AdvanceRound(ctx context.Context) (proto.RoundState, error) {
+	return c.roundCmd(ctx, cmdAdvanceRound, "round advance")
+}
+
+func (c *IngestConn) roundCmd(ctx context.Context, cmd byte, op string) (proto.RoundState, error) {
+	var rs proto.RoundState
+	err := c.runWithCtx(ctx, func() error {
+		if err := c.bw.WriteByte(cmd); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		var err error
+		rs, err = readRoundState(c.br, op)
+		return err
+	})
+	return rs, err
+}
+
 // RequestSnapshot asks an aggregation server for its accumulated state and
 // returns the snapshot bytes, ready to feed a parent aggregator via
 // PushSnapshot (or Mergeable.MergeSnapshot / Restore in process).

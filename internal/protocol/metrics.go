@@ -38,6 +38,9 @@ type Metrics struct {
 	topkQueries     atomic.Int64 // continuous top-k queries answered over the wire
 	topkQueryErrors atomic.Int64 // top-k queries rejected (unsupported protocol, bad k)
 
+	roundsAdvanced atomic.Int64 // interactive round transitions committed over the wire
+	roundErrors    atomic.Int64 // round commands rejected (unsupported protocol, failed advance)
+
 	snapshotsServed atomic.Int64
 	mergesAbsorbed  atomic.Int64
 
@@ -109,8 +112,9 @@ func (m *Metrics) uptime() float64 {
 // aggregator's authoritative TotalReports at scrape time (it includes
 // recovered and merged state); listenerErr reports permanent listener
 // death; stream is the continuous-query position for streaming aggregators
-// (nil for batch protocols, which have no stream series).
-func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error, stream *proto.StreamStats) {
+// (nil for batch protocols, which have no stream series); round is the
+// interactive-protocol round position (nil for single-round protocols).
+func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error, stream *proto.StreamStats, round *proto.RoundState) {
 	p := m.protocol
 	up := 1
 	if listenerErr != nil {
@@ -156,6 +160,15 @@ func (m *Metrics) writeProm(w *bufio.Writer, resident int, listenerErr error, st
 		gauge("ldphh_stream_windows", "Configured per-user budget split w (per-report budget is eps/w).", float64(stream.Windows))
 		gauge("ldphh_stream_warmup", "1 while the bounded structure is in its filling warmup phase.", b2f(stream.Warmup))
 		counter("ldphh_stream_evictions_total", "Cells evicted from the bounded structure by decay.", stream.Evictions)
+	}
+	if round != nil {
+		gauge("ldphh_round", "Zero-based index of the open interactive round.", float64(round.Round))
+		gauge("ldphh_rounds", "Configured interactive round count (the user-group count g).", float64(round.Rounds))
+		gauge("ldphh_round_candidates", "Candidate prefixes broadcast for the open round.", float64(len(round.Candidates)))
+		gauge("ldphh_round_group_size", "Reports absorbed into the open round's group so far.", float64(round.GroupReports))
+		gauge("ldphh_round_done", "1 once the final round committed and Identify is answerable.", b2f(round.Done))
+		counter("ldphh_rounds_advanced_total", "Interactive round transitions committed over the wire.", m.roundsAdvanced.Load())
+		counter("ldphh_round_errors_total", "Round commands rejected.", m.roundErrors.Load())
 	}
 
 	counter("ldphh_snapshots_served_total", "Snapshot commands served to parent aggregators.", m.snapshotsServed.Load())
@@ -262,10 +275,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		stream = fmt.Sprintf(`,"stream_window":%d,"stream_windows":%d,"stream_warmup":%t,"stream_evictions":%d,"topk_queries":%d`,
 			st.Window, st.Windows, st.Warmup, st.Evictions, m.topkQueries.Load())
 	}
-	fmt.Fprintf(w, `{"status":%q,"protocol":%q,"uptime_seconds":%.3f,"absorbed":%d,"resident":%d,"checkpoint_seq":%d,"checkpoint_taken":%t,"checkpoint_age_seconds":%.3f,"checkpoint_lag_reports":%d,"last_checkpoint_error":%q,"listener_error":%q%s}`+"\n",
+	round := ""
+	if it, ok := proto.AsInteractive(s.agg); ok {
+		rs := it.RoundState()
+		round = fmt.Sprintf(`,"round":%d,"rounds":%d,"round_candidates":%d,"round_group_size":%d,"round_done":%t`,
+			rs.Round, rs.Rounds, len(rs.Candidates), rs.GroupReports, rs.Done)
+	}
+	fmt.Fprintf(w, `{"status":%q,"protocol":%q,"uptime_seconds":%.3f,"absorbed":%d,"resident":%d,"checkpoint_seq":%d,"checkpoint_taken":%t,"checkpoint_age_seconds":%.3f,"checkpoint_lag_reports":%d,"last_checkpoint_error":%q,"listener_error":%q%s%s}`+"\n",
 		status, m.protocol, m.uptime(), m.reportsAbsorbed.Load(), s.agg.TotalReports(),
 		m.checkpointSeq.Load(), taken, age, m.CheckpointLag(),
-		m.lastCkptErr.Load().(string), listenerErr, stream)
+		m.lastCkptErr.Load().(string), listenerErr, stream, round)
 }
 
 // handleMetrics serves the Prometheus text exposition.
@@ -276,7 +295,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		st := cq.StreamStats()
 		stream = &st
 	}
+	var round *proto.RoundState
+	if it, ok := proto.AsInteractive(s.agg); ok {
+		rs := it.RoundState()
+		round = &rs
+	}
 	bw := bufio.NewWriter(w)
-	s.metrics.writeProm(bw, s.agg.TotalReports(), s.Err(), stream)
+	s.metrics.writeProm(bw, s.agg.TotalReports(), s.Err(), stream, round)
 	bw.Flush() //nolint:errcheck // client gone
 }

@@ -19,15 +19,18 @@ import (
 // every series ending in `_total` must be TYPE counter and every counter
 // must end in `_total` (the lint that caught ldphh_identify_seconds_total
 // declared as a gauge), every series carries a HELP line, names are unique
-// and namespaced under ldphh_. The render includes the stream series and a
-// taken checkpoint so conditional metrics are linted too.
+// and namespaced under ldphh_. The render includes the stream series, the
+// interactive round series and a taken checkpoint so conditional metrics
+// are linted too.
 func TestMetricsTextLint(t *testing.T) {
 	m := newMetrics("streamhg")
 	m.noteCheckpoint(3, time.Now().UnixNano(), 128, 7)
 	stream := &proto.StreamStats{Window: 2, Windows: 8, Warmup: true, Evictions: 5}
+	round := &proto.RoundState{Round: 1, Rounds: 4, PrefixBits: 8, GroupReports: 9,
+		Candidates: [][]byte{{0x10}, {0x20}}}
 	var sb strings.Builder
 	bw := bufio.NewWriter(&sb)
-	m.writeProm(bw, 42, errors.New("listener dead"), stream)
+	m.writeProm(bw, 42, errors.New("listener dead"), stream, round)
 	bw.Flush()
 	text := sb.String()
 
@@ -66,6 +69,14 @@ func TestMetricsTextLint(t *testing.T) {
 	}
 	if typ := types["ldphh_identify_seconds_total"]; typ != "counter" {
 		t.Errorf("ldphh_identify_seconds_total is TYPE %q, want counter", typ)
+	}
+	for _, name := range []string{"ldphh_round", "ldphh_round_candidates", "ldphh_round_group_size"} {
+		if typ := types[name]; typ != "gauge" {
+			t.Errorf("%s is TYPE %q, want gauge", name, typ)
+		}
+	}
+	if typ := types["ldphh_rounds_advanced_total"]; typ != "counter" {
+		t.Errorf("ldphh_rounds_advanced_total is TYPE %q, want counter", typ)
 	}
 }
 

@@ -26,6 +26,8 @@ const (
 	cmdMergeSnapshot = 0x04 // absorb a child aggregator's state (length-prefixed blob)
 	cmdReportBatch   = 0x05 // u32 frame count + that many contiguous frames; pipelined
 	cmdQueryTopK     = 0x07 // u32 k; reply is the estimate list; pipelined (0x06 is ackByte)
+	cmdRound         = 0x08 // read the open round's broadcast state; pipelined
+	cmdAdvanceRound  = 0x09 // finalize the open round, open the next; reply is the new state; pipelined
 )
 
 // maxSnapshotBytes bounds the length prefix either side of a snapshot
@@ -627,6 +629,12 @@ func (s *Server) handle(conn net.Conn) error {
 			}
 			// Pipelined: a monitoring client interleaves queries with report
 			// batches on one connection.
+		case cmdRound, cmdAdvanceRound:
+			if err := s.handleRound(conn, cmd == cmdAdvanceRound); err != nil {
+				return err
+			}
+			// Pipelined: a round driver reads the broadcast, streams the
+			// round's batches and advances, all on one connection.
 		case cmdSnapshot:
 			return s.handleSnapshot(conn)
 		case cmdMergeSnapshot:
@@ -883,6 +891,57 @@ func (s *Server) handleQueryTopK(conn net.Conn, br *bufio.Reader) error {
 // maxTopK caps one query's answer size, keeping a hostile k header from
 // provoking a domain-sized reply allocation.
 const maxTopK = 1 << 20
+
+// handleRound serves the interactive-protocol commands: cmdRound replies
+// with the open round's broadcast state (the candidate-prefix set devices
+// report against), cmdAdvanceRound finalizes the open round, opens the next
+// one and replies with the new state. Only aggregators with the
+// proto.Interactive capability answer; others get an ERR reply.
+//
+// A round transition is a durable commit point: when checkpointing is
+// configured, the advanced state is on disk before the reply goes out, so a
+// crash after the broadcast can never resurrect an already-closed round and
+// re-spend its group's reports.
+func (s *Server) handleRound(conn net.Conn, advance bool) error {
+	it, ok := proto.AsInteractive(s.agg)
+	if !ok {
+		s.metrics.roundErrors.Add(1)
+		return fmt.Errorf("protocol: %s is not an interactive (multi-round) protocol", s.codec.Name)
+	}
+	var rs proto.RoundState
+	if advance {
+		var err error
+		if rs, err = it.AdvanceRound(); err != nil {
+			s.metrics.roundErrors.Add(1)
+			return err
+		}
+		s.metrics.roundsAdvanced.Add(1)
+		if s.ckpt != nil {
+			// The transition persists synchronously before the broadcast
+			// (engine snapshots serialize done states too, so even the final
+			// advance is recoverable).
+			if err := s.takeCheckpoint(); err != nil {
+				return err
+			}
+		}
+	} else {
+		rs = it.RoundState()
+	}
+	blob := proto.EncodeRoundState(rs)
+	if len(blob) > maxSnapshotBytes {
+		return fmt.Errorf("protocol: round state of %d bytes exceeds transfer cap", len(blob))
+	}
+	bw := bufio.NewWriter(conn)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(blob)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(blob); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
 
 // mergeable returns the aggregator's snapshot capability or an error for
 // the ERR reply when the protocol cannot snapshot.

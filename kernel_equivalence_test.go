@@ -17,6 +17,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -61,23 +62,47 @@ func kernelRound(t *testing.T, kind ldphh.Kind, workers int) string {
 	}
 	// The same deterministic population TestNewAllKinds plants: one 40%
 	// heavy item, one 30% item, a light tail.
-	rng := rand.New(rand.NewPCG(3, 4))
-	for i := 0; i < n; i++ {
-		var item []byte
+	itemFor := func(i int) []byte {
 		switch {
 		case i%10 < 4:
-			item = ordinalItem(1, 2)
+			return ordinalItem(1, 2)
 		case i%10 < 7:
-			item = ordinalItem(2, 2)
+			return ordinalItem(2, 2)
 		default:
-			item = ordinalItem(uint64(3+i%32), 2)
+			return ordinalItem(uint64(3+i%32), 2)
 		}
-		wr, err := h.Report(item, i, rng)
-		if err != nil {
-			t.Fatalf("report %d: %v", i, err)
+	}
+	if it, ok := ldphh.AsInteractive(h); ok {
+		// Interactive kinds: drive the rounds, each user reporting in their
+		// group's round with the per-(round, user) generator — the digest
+		// must come out identical at every worker count.
+		for rs := it.RoundState(); !rs.Done; rs = it.RoundState() {
+			for i := 0; i < n; i++ {
+				wr, err := h.Report(itemFor(i), i, ldphh.RoundRand(99, rs.Round, i))
+				if errors.Is(err, ldphh.ErrNotInRound) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("report %d round %d: %v", i, rs.Round, err)
+				}
+				if err := h.Absorb(wr); err != nil {
+					t.Fatalf("absorb %d round %d: %v", i, rs.Round, err)
+				}
+			}
+			if _, err := it.AdvanceRound(); err != nil {
+				t.Fatal(err)
+			}
 		}
-		if err := h.Absorb(wr); err != nil {
-			t.Fatalf("absorb %d: %v", i, err)
+	} else {
+		rng := rand.New(rand.NewPCG(3, 4))
+		for i := 0; i < n; i++ {
+			wr, err := h.Report(itemFor(i), i, rng)
+			if err != nil {
+				t.Fatalf("report %d: %v", i, err)
+			}
+			if err := h.Absorb(wr); err != nil {
+				t.Fatalf("absorb %d: %v", i, err)
+			}
 		}
 	}
 	est, err := h.Identify(context.Background())

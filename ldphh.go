@@ -11,6 +11,7 @@ import (
 	"ldphh/internal/freqoracle"
 	"ldphh/internal/genprot"
 	"ldphh/internal/grouposition"
+	"ldphh/internal/interactive"
 	"ldphh/internal/ldp"
 	"ldphh/internal/lowerbound"
 	"ldphh/internal/proto"
@@ -49,6 +50,14 @@ type (
 	// StreamStats describes a streaming aggregator's position: current
 	// window, budget split, warmup phase, eviction churn.
 	StreamStats = proto.StreamStats
+	// Interactive is the optional capability of multi-round aggregators
+	// (KindPEM, KindFedTrie): broadcast the open round's candidate set,
+	// install a broadcast on a device fleet, and commit round transitions.
+	Interactive = proto.Interactive
+	// RoundState is one round's broadcast: the open round index, the
+	// candidate prefixes the round's user group reports against, and the
+	// terminal Done flag.
+	RoundState = proto.RoundState
 )
 
 // AsMergeable reports whether an aggregator supports snapshot/merge
@@ -60,6 +69,24 @@ func AsMergeable(a Aggregator) (Mergeable, bool) { return proto.AsMergeable(a) }
 // does (KindStreamHG aggregators do).
 func AsContinuousQuerier(a Aggregator) (ContinuousQuerier, bool) {
 	return proto.AsContinuousQuerier(a)
+}
+
+// AsInteractive reports whether an aggregator runs a multi-round protocol,
+// returning the capability view when it does (KindPEM and KindFedTrie
+// aggregators do).
+func AsInteractive(a Aggregator) (Interactive, bool) { return proto.AsInteractive(a) }
+
+// ErrNotInRound is returned by an interactive kind's Report for a user
+// whose group is not assigned to the open round; the user reports in their
+// own round and nowhere else, which is what keeps the per-user budget at ε
+// across the whole discovery.
+var ErrNotInRound = interactive.ErrNotInRound
+
+// RoundRand returns the deterministic per-(round, user) device generator
+// for the interactive kinds: replaying a fleet at any concurrency with
+// these generators produces bit-identical reports.
+func RoundRand(seed uint64, round, userIdx int) *rand.Rand {
+	return interactive.RoundRand(seed, round, userIdx)
 }
 
 // Params configures the PrivateExpanderSketch heavy-hitters protocol; see
@@ -368,6 +395,35 @@ func QueryTopK(addr string, k int) ([]Estimate, error) {
 // QueryTopKContext is QueryTopK with deadline/cancellation propagation.
 func QueryTopKContext(ctx context.Context, addr string, k int) ([]Estimate, error) {
 	return protocol.QueryTopKContext(ctx, addr, k)
+}
+
+// RequestRound asks an interactive aggregation server (KindPEM,
+// KindFedTrie) for the open round's broadcast state — the candidate-prefix
+// set the round's user group reports against. Single-round servers reject
+// the command.
+func RequestRound(addr string) (RoundState, error) {
+	return protocol.RequestRound(addr)
+}
+
+// RequestRoundContext is RequestRound with deadline/cancellation
+// propagation.
+func RequestRoundContext(ctx context.Context, addr string) (RoundState, error) {
+	return protocol.RequestRoundContext(ctx, addr)
+}
+
+// AdvanceRound asks an interactive aggregation server to finalize the open
+// round — prune the candidate tally, extend the survivors — and open the
+// next one, returning the new broadcast (Done once the final round
+// committed). On a checkpointing server the transition is durable before
+// the reply arrives.
+func AdvanceRound(addr string) (RoundState, error) {
+	return protocol.AdvanceRound(addr)
+}
+
+// AdvanceRoundContext is AdvanceRound with deadline/cancellation
+// propagation.
+func AdvanceRoundContext(ctx context.Context, addr string) (RoundState, error) {
+	return protocol.AdvanceRoundContext(ctx, addr)
 }
 
 // Multi-aggregator trees. HeavyHitters state is a linear accumulator, so

@@ -6,6 +6,7 @@ import (
 	"ldphh/internal/baseline"
 	"ldphh/internal/core"
 	"ldphh/internal/freqoracle"
+	"ldphh/internal/interactive"
 	"ldphh/internal/proto"
 	"ldphh/internal/stream"
 )
@@ -28,6 +29,8 @@ const (
 	KindTreeHist          = Kind(proto.IDTreeHist)
 	KindBassilySmith      = Kind(proto.IDBassilySmith)
 	KindStreamHG          = Kind(proto.IDStreamHG)
+	KindPEM               = Kind(proto.IDPEM)
+	KindFedTrie           = Kind(proto.IDFedTrie)
 )
 
 // String returns the kind's stable registry name ("pes", "bitstogram", ...).
@@ -78,6 +81,9 @@ type config struct {
 	topK       int
 	windowSize int
 	streamKind stream.Kind
+	rounds     int
+	bitsPerRnd int
+	theta      float64
 }
 
 // Option configures New.
@@ -119,9 +125,12 @@ func WithDomainSize(size int) Option { return func(c *config) { c.domainSize = s
 // unfloored exhaustive scan would return a domain-sized list of noise).
 func WithMinCount(m float64) Option { return func(c *config) { c.minCount = m } }
 
-// WithCandidates sets the Identify query set for KindHashtogram (a
-// frequency oracle cannot enumerate an open domain; it estimates a known
-// dictionary).
+// WithCandidates sets the Identify query set for the candidate-based kinds:
+// protocols that cannot enumerate an open domain and instead estimate a
+// known dictionary (KindHashtogram today; any future oracle-style kind
+// reads the same option). The open-domain interactive kinds (KindPEM,
+// KindFedTrie) reject it — discovering the candidate set round by round is
+// their whole point — and the enumerable-domain kinds ignore it.
 func WithCandidates(items [][]byte) Option { return func(c *config) { c.candidates = items } }
 
 // WithWindows sets the streaming per-user budget split w (KindStreamHG;
@@ -139,6 +148,22 @@ func WithTopK(k int) Option { return func(c *config) { c.topK = k } }
 // WithN is set, else 4096). The first window is the bounded structure's
 // warmup phase.
 func WithWindowSize(n int) Option { return func(c *config) { c.windowSize = n } }
+
+// WithRounds sets the interactive round count g (KindPEM, KindFedTrie; 0
+// derives ceil(8·ItemBytes/bitsPerRound)). Users are partitioned into g
+// groups by public randomness and each group reports in exactly one round,
+// so the per-user budget stays ε across the whole discovery.
+func WithRounds(g int) Option { return func(c *config) { c.rounds = g } }
+
+// WithBitsPerRound sets the per-round prefix extension γ (KindPEM,
+// KindFedTrie; default 4): round i reports against candidates of the first
+// γ·(i+1) item bits.
+func WithBitsPerRound(bits int) Option { return func(c *config) { c.bitsPerRnd = bits } }
+
+// WithTheta sets the federated-trie survival threshold (KindFedTrie): a
+// prefix advances to the next round only when its population-scaled vote
+// reaches θ. Zero derives the round's β = 0.05 error bound.
+func WithTheta(theta float64) Option { return func(c *config) { c.theta = theta } }
 
 // WithStreamNaive selects the streaming full-histogram structure instead of
 // the default bounded HeavyGuardian one (KindStreamHG): O(domain) memory,
@@ -230,6 +255,19 @@ func New(kind Kind, opts ...Option) (Protocol, error) {
 			Domain: size, WindowSize: windowSize, WarmupWindows: 1,
 			N: cfg.n, Seed: cfg.seed, Workers: cfg.workers,
 		}, cfg.itemBytes)
+	case KindPEM, KindFedTrie:
+		if len(cfg.candidates) > 0 {
+			return nil, fmt.Errorf("ldphh: %v discovers its candidate set over rounds; WithCandidates is not applicable", kind)
+		}
+		mode := interactive.ModePEM
+		if kind == KindFedTrie {
+			mode = interactive.ModeFedTrie
+		}
+		return interactive.NewWire(interactive.Params{
+			Mode: mode, Eps: cfg.eps, N: cfg.n, ItemBytes: cfg.itemBytes,
+			Rounds: cfg.rounds, BitsPerRound: cfg.bitsPerRnd, TopK: cfg.topK,
+			Theta: cfg.theta, Seed: cfg.seed, Workers: cfg.workers,
+		})
 	default:
 		return nil, fmt.Errorf("ldphh: unknown protocol kind %v", kind)
 	}

@@ -3,7 +3,9 @@ package ldphh_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"ldphh"
@@ -31,6 +33,12 @@ func TestNewAllKinds(t *testing.T) {
 		ldphh.KindHashtogram:        true,
 		ldphh.KindDirectHistogram:   true,
 		ldphh.KindStreamHG:          true,
+		ldphh.KindPEM:               true,
+		ldphh.KindFedTrie:           true,
+	}
+	interactiveKinds := map[ldphh.Kind]bool{
+		ldphh.KindPEM:     true,
+		ldphh.KindFedTrie: true,
 	}
 	// The population-splitting baselines carry a sqrt(n·L)-shaped recovery
 	// floor, so they need a larger round for the 40% heavy item to clear it.
@@ -62,26 +70,58 @@ func TestNewAllKinds(t *testing.T) {
 			if _, ok := ldphh.AsMergeable(h); ok != mergeableKinds[kind] {
 				t.Fatalf("Mergeable = %v, want %v", ok, mergeableKinds[kind])
 			}
+			it, ok := ldphh.AsInteractive(h)
+			if ok != interactiveKinds[kind] {
+				t.Fatalf("Interactive = %v, want %v", ok, interactiveKinds[kind])
+			}
 			// One unified round: the same instance serves both halves here.
 			rng := rand.New(rand.NewPCG(3, 4))
 			trueHeavy := 0
-			for i := 0; i < n; i++ {
-				var item []byte
+			itemFor := func(i int) []byte {
 				switch {
 				case i%10 < 4:
-					item = heavy
-					trueHeavy++
+					return heavy
 				case i%10 < 7:
-					item = ordinalItem(2, 2)
+					return ordinalItem(2, 2)
 				default:
-					item = ordinalItem(uint64(3+i%32), 2)
+					return ordinalItem(uint64(3+i%32), 2)
 				}
-				wr, err := h.Report(item, i, rng)
-				if err != nil {
-					t.Fatalf("report %d: %v", i, err)
+			}
+			for i := 0; i < n; i++ {
+				if bytes.Equal(itemFor(i), heavy) {
+					trueHeavy++
 				}
-				if err := h.Absorb(wr); err != nil {
-					t.Fatalf("absorb %d: %v", i, err)
+			}
+			if it != nil {
+				// Interactive kinds gate reports by round group: each user
+				// reports once, in their own round, against that round's
+				// candidate broadcast.
+				for rs := it.RoundState(); !rs.Done; rs = it.RoundState() {
+					for i := 0; i < n; i++ {
+						wr, err := h.Report(itemFor(i), i, ldphh.RoundRand(99, rs.Round, i))
+						if errors.Is(err, ldphh.ErrNotInRound) {
+							continue
+						}
+						if err != nil {
+							t.Fatalf("report %d round %d: %v", i, rs.Round, err)
+						}
+						if err := h.Absorb(wr); err != nil {
+							t.Fatalf("absorb %d round %d: %v", i, rs.Round, err)
+						}
+					}
+					if _, err := it.AdvanceRound(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					wr, err := h.Report(itemFor(i), i, rng)
+					if err != nil {
+						t.Fatalf("report %d: %v", i, err)
+					}
+					if err := h.Absorb(wr); err != nil {
+						t.Fatalf("absorb %d: %v", i, err)
+					}
 				}
 			}
 			if got := h.TotalReports(); got != n {
@@ -115,6 +155,8 @@ func TestKindNamesRoundTrip(t *testing.T) {
 		ldphh.KindTreeHist:          "treehist",
 		ldphh.KindBassilySmith:      "bassilysmith",
 		ldphh.KindStreamHG:          "streamhg",
+		ldphh.KindPEM:               "pem",
+		ldphh.KindFedTrie:           "fedtrie",
 	}
 	if got := len(ldphh.Kinds()); got != len(want) {
 		t.Fatalf("%d registered kinds, want %d", got, len(want))
@@ -152,6 +194,54 @@ func TestNewValidation(t *testing.T) {
 	if _, err := ldphh.New(ldphh.KindBassilySmith,
 		ldphh.WithEps(1), ldphh.WithN(100), ldphh.WithItemBytes(4), ldphh.WithDomainSize(512)); err != nil {
 		t.Errorf("explicit domain rejected: %v", err)
+	}
+}
+
+// TestCandidatesConsumption pins which kinds consume WithCandidates and
+// which reject it: the candidate-based oracle kinds estimate exactly the
+// supplied dictionary, the open-domain interactive kinds refuse the option
+// outright (they discover candidates round by round), and everything else
+// ignores it.
+func TestCandidatesConsumption(t *testing.T) {
+	cands := [][]byte{ordinalItem(1, 2), ordinalItem(2, 2)}
+	for _, kind := range ldphh.Kinds() {
+		h, err := ldphh.New(kind,
+			ldphh.WithEps(2), ldphh.WithN(1000), ldphh.WithItemBytes(2),
+			ldphh.WithDomainSize(32), ldphh.WithCandidates(cands))
+		switch kind {
+		case ldphh.KindPEM, ldphh.KindFedTrie:
+			if err == nil || !strings.Contains(err.Error(), "WithCandidates") {
+				t.Errorf("%v with candidates = %v, want a WithCandidates rejection", kind, err)
+			}
+		case ldphh.KindHashtogram:
+			if err != nil {
+				t.Fatalf("hashtogram with candidates: %v", err)
+			}
+			// The consumer: Identify's support is exactly the dictionary.
+			rng := rand.New(rand.NewPCG(5, 6))
+			for i := 0; i < 1000; i++ {
+				wr, err := h.Report(cands[i%2], i, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.Absorb(wr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			est, err := h.Identify(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range est {
+				if !bytes.Equal(e.Item, cands[0]) && !bytes.Equal(e.Item, cands[1]) {
+					t.Errorf("hashtogram estimated %x outside the candidate dictionary", e.Item)
+				}
+			}
+		default:
+			if err != nil {
+				t.Errorf("%v must ignore WithCandidates, got %v", kind, err)
+			}
+		}
 	}
 }
 
